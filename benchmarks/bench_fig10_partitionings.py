@@ -1,0 +1,54 @@
+"""Fig. 10 — effect of the partitioning strategy on gStoreD itself.
+
+Fig. 10(a) plots the evaluation time of the non-star LUBM queries under the
+three partitionings, Fig. 10(b) the size of the shipped LEC features for the
+YAGO2 queries.  Expected shape: the partitioning with the lowest Section VII
+cost (semantic hash for LUBM, hash for YAGO2) gives the best or
+near-best numbers, and METIS — whose cost is highest on YAGO2 — never wins
+there.
+"""
+
+from repro.bench import (
+    format_series,
+    lec_feature_shipment_series,
+    partitioning_performance_series,
+    print_experiment,
+)
+
+LUBM_QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
+YAGO_QUERIES = ("YQ1", "YQ2", "YQ3", "YQ4")
+
+
+def regenerate_fig10a(num_sites: int):
+    return partitioning_performance_series("LUBM", LUBM_QUERIES, scale=1, num_sites=num_sites)
+
+
+def regenerate_fig10b(num_sites: int):
+    return lec_feature_shipment_series("YAGO2", YAGO_QUERIES, scale=1, num_sites=num_sites)
+
+
+def test_fig10a_lubm_partitioning_times(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig10a, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 10(a) — gStoreD response time per partitioning on LUBM (ms)",
+        format_series("rows = queries, columns = partitioning strategies", series),
+    )
+    assert set(series) == {"hash", "semantic_hash", "metis"}
+    for strategy in series:
+        assert all(value >= 0 for value in series[strategy].values())
+
+
+def test_fig10b_yago_lec_feature_shipment(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig10b, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 10(b) — shipped LEC-feature volume per partitioning on YAGO2 (KB)",
+        format_series("rows = queries, columns = partitioning strategies", series),
+    )
+    assert set(series) == {"hash", "semantic_hash", "metis"}
+    # The unselective query (YQ3) dominates the shipped LEC-feature volume
+    # under every partitioning — the shape Fig. 10(b) shows.  (The paper's
+    # additional observation that METIS ships the most features relies on the
+    # imbalance real METIS exhibits at the 284M-triple scale, which the
+    # scaled-down dataset cannot reproduce; see EXPERIMENTS.md.)
+    for strategy, points in series.items():
+        assert points["YQ3"] == max(points.values()), strategy

@@ -1,0 +1,47 @@
+"""Fig. 11 — scalability of gStoreD with the LUBM dataset size.
+
+The paper evaluates LUBM 100M / 500M / 1B and splits the queries into star
+queries (Fig. 11a: LQ2, LQ4, LQ5) and other shapes (Fig. 11b: LQ1, LQ3, LQ6,
+LQ7).  Expected shape: response times grow roughly proportionally with the
+dataset size (the method is partition bounded), with the complex queries
+growing faster than the stars.
+"""
+
+from repro.bench import format_series, print_experiment, scalability_series
+
+STAR_QUERIES = ("LQ2", "LQ4", "LQ5")
+OTHER_QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
+
+#: Scaled-down stand-ins for the paper's 100M / 500M / 1B triple datasets.
+SCALES = {"100M": 1, "500M": 3, "1B": 6}
+
+
+def regenerate_fig11a(num_sites: int):
+    return scalability_series(STAR_QUERIES, scales=SCALES, num_sites=num_sites)
+
+
+def regenerate_fig11b(num_sites: int):
+    return scalability_series(OTHER_QUERIES, scales=SCALES, num_sites=num_sites)
+
+
+def test_fig11a_star_query_scalability(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig11a, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 11(a) — star query response time vs dataset scale (ms)",
+        format_series("rows = scales, columns = queries", series),
+    )
+    assert set(series) == set(STAR_QUERIES)
+    for query, points in series.items():
+        assert set(points) == set(SCALES)
+
+
+def test_fig11b_other_query_scalability(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig11b, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 11(b) — non-star query response time vs dataset scale (ms)",
+        format_series("rows = scales, columns = queries", series),
+    )
+    # Bigger data means more work: the largest scale must not be faster than
+    # the smallest one in aggregate.
+    totals = {label: sum(series[q][label] for q in OTHER_QUERIES) for label in SCALES}
+    assert totals["1B"] >= totals["100M"]

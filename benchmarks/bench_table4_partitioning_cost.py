@@ -1,0 +1,32 @@
+"""Table IV — CostPartitioning of hash / semantic hash / METIS partitionings.
+
+The paper reports the Section VII cost of the three partitionings on YAGO2
+and LUBM 100M.  The shape to reproduce: on LUBM the semantic hash
+partitioning is cheaper than plain hashing (URI hierarchies separate
+universities cleanly), while on YAGO2 all entities share one URI hierarchy so
+semantic hashing cannot beat plain hashing.  The paper additionally finds
+METIS to be the most expensive option on YAGO2 because its fragments are
+badly imbalanced at the 284M-triple scale; our scaled-down datasets are too
+small to reproduce that imbalance, so no assertion is made on METIS's rank
+(the measured values are still printed for comparison).
+"""
+
+from repro.bench import format_table, partitioning_cost_table, print_experiment
+
+
+def regenerate_table4(num_sites: int):
+    return partitioning_cost_table(datasets=("YAGO2", "LUBM"), num_sites=num_sites, scale=1)
+
+
+def test_table4_partitioning_costs(benchmark, num_sites):
+    rows = benchmark.pedantic(regenerate_table4, args=(num_sites,), iterations=1, rounds=1)
+    print_experiment("Table IV — CostPartitioning per strategy", format_table(rows))
+
+    by_dataset = {row["dataset"]: row for row in rows}
+    # LUBM: the URI hierarchy makes semantic hashing cheaper than plain hashing.
+    lubm = by_dataset["LUBM"]
+    assert lubm["semantic_hash"] <= lubm["hash"]
+    # YAGO2: a single shared URI hierarchy means semantic hashing cannot beat
+    # plain hashing (the paper measures them as approximately equal).
+    yago = by_dataset["YAGO2"]
+    assert yago["hash"] <= yago["semantic_hash"] * 1.05

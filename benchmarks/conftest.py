@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section (Section VIII).  The modules use ``pytest-benchmark`` to
+time the regeneration and print the resulting rows/series, so that
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the whole evaluation in one run.  The printed tables are the
+artefacts to compare against EXPERIMENTS.md (and against the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Simulated cluster size used across all benchmarks (stands in for the
+#: paper's 12-machine cluster while staying fast enough for CI).
+NUM_SITES = 6
+
+
+@pytest.fixture(scope="session")
+def num_sites() -> int:
+    return NUM_SITES

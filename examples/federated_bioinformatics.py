@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Federated querying over administratively partitioned data sources.
+
+The paper motivates partitioning-tolerant SPARQL processing with platforms
+such as the European Bioinformatics Institute, where several RDF datasets
+(BioModels, ChEMBL, Ensembl, ...) are published by *different* organisations
+and therefore partitioned by publisher, not by any query-friendly criterion.
+
+This example builds a small federation of three "publishers":
+
+* a **gene catalogue** (genes, their encoded proteins, chromosome locations),
+* a **pathway database** (pathways and which proteins participate in them),
+* a **disease registry** (diseases, associated genes, approved drugs).
+
+Because the publisher decides where its triples live, cross-publisher queries
+(e.g. "drugs targeting a pathway through some protein") always span several
+sites.  The example shows that the engine answers them correctly over the
+publisher-defined partitioning, and how much data moves per stage.
+
+Run it with::
+
+    python examples/federated_bioinformatics.py
+"""
+
+from repro.core import EngineConfig, GStoreDEngine
+from repro.distributed import build_cluster
+from repro.partition import build_partitioned_graph, partitioning_cost
+from repro.rdf import Namespace, RDFGraph, Triple
+from repro.sparql import format_query, parse_query
+from repro.store import evaluate_centralized
+
+GENE = Namespace("http://example.org/genes/")
+PATH = Namespace("http://example.org/pathways/")
+DISEASE = Namespace("http://example.org/diseases/")
+ONT = Namespace("http://example.org/bio-ontology#")
+
+ENCODES = ONT.term("encodes")
+LOCATED_ON = ONT.term("locatedOn")
+PARTICIPATES_IN = ONT.term("participatesIn")
+PART_OF = ONT.term("partOf")
+ASSOCIATED_WITH = ONT.term("associatedWith")
+TREATED_BY = ONT.term("treatedBy")
+TARGETS = ONT.term("targets")
+
+
+def build_federation() -> tuple[RDFGraph, dict]:
+    """Three publishers' datasets merged into one graph + publisher assignment."""
+    graph = RDFGraph(name="bio-federation")
+    assignment = {}
+
+    def add(triple: Triple, publisher: int) -> None:
+        graph.add(triple)
+        # The *subject's* publisher owns the triple; objects keep whichever
+        # publisher first mentioned them (administrative partitioning).
+        assignment.setdefault(triple.subject, publisher)
+        assignment.setdefault(triple.object, publisher)
+
+    chromosomes = [GENE.term(f"chr{i}") for i in range(1, 4)]
+    genes = [GENE.term(f"GENE{i}") for i in range(12)]
+    proteins = [GENE.term(f"PROT{i}") for i in range(12)]
+    for i, gene in enumerate(genes):
+        add(Triple(gene, ENCODES, proteins[i]), publisher=0)
+        add(Triple(gene, LOCATED_ON, chromosomes[i % len(chromosomes)]), publisher=0)
+
+    pathways = [PATH.term(f"PW{i}") for i in range(4)]
+    for i, protein in enumerate(proteins):
+        add(Triple(protein, PARTICIPATES_IN, pathways[i % len(pathways)]), publisher=1)
+    for i, pathway in enumerate(pathways[1:], start=1):
+        add(Triple(pathway, PART_OF, pathways[0]), publisher=1)
+
+    diseases = [DISEASE.term(f"DIS{i}") for i in range(5)]
+    drugs = [DISEASE.term(f"DRUG{i}") for i in range(6)]
+    for i, disease in enumerate(diseases):
+        add(Triple(disease, ASSOCIATED_WITH, genes[2 * i]), publisher=2)
+        add(Triple(disease, TREATED_BY, drugs[i]), publisher=2)
+    for i, drug in enumerate(drugs):
+        add(Triple(drug, TARGETS, proteins[(2 * i) % len(proteins)]), publisher=2)
+
+    return graph, assignment
+
+
+def main() -> None:
+    graph, assignment = build_federation()
+    partitioned = build_partitioned_graph(
+        graph, assignment, num_fragments=3, strategy="by-publisher"
+    )
+    partitioned.validate()
+    print("Federated RDF graph:", graph.stats())
+    print("Publisher-defined partitioning:")
+    for fragment in partitioned:
+        print(f"  publisher {fragment.fragment_id}: {fragment.stats()}")
+    print("  Section VII cost of this partitioning:", round(partitioning_cost(partitioned).cost, 2))
+
+    cluster = build_cluster(partitioned)
+    engine = GStoreDEngine(cluster, EngineConfig.full())
+
+    queries = {
+        "drugs reaching a pathway through their protein target": """
+            PREFIX ont: <http://example.org/bio-ontology#>
+            SELECT ?drug ?protein ?pathway WHERE {
+                ?drug ont:targets ?protein .
+                ?protein ont:participatesIn ?pathway .
+            }
+        """,
+        "diseases whose associated gene encodes a protein in pathway PW0": """
+            PREFIX ont: <http://example.org/bio-ontology#>
+            PREFIX pw: <http://example.org/pathways/>
+            SELECT ?disease ?gene ?protein WHERE {
+                ?disease ont:associatedWith ?gene .
+                ?gene ont:encodes ?protein .
+                ?protein ont:participatesIn pw:PW0 .
+            }
+        """,
+        "candidate repurposing: drugs treating a disease associated with a gene whose protein they also target": """
+            PREFIX ont: <http://example.org/bio-ontology#>
+            SELECT ?drug ?disease ?gene WHERE {
+                ?disease ont:treatedBy ?drug .
+                ?disease ont:associatedWith ?gene .
+                ?gene ont:encodes ?protein .
+                ?drug ont:targets ?protein .
+            }
+        """,
+    }
+
+    for title, text in queries.items():
+        query = parse_query(text)
+        print(f"\n=== {title} ===")
+        print(format_query(query))
+        cluster.reset_network()
+        answer = engine.execute(query, query_name=title, dataset="bio-federation")
+        centralized = evaluate_centralized(graph, query)
+        print(f"solutions: {len(answer.results)} "
+              f"(centralized agrees: {answer.results.same_solutions(centralized.project(query.effective_projection, distinct=True))})")
+        for row in answer.results.to_table()[:5]:
+            print(f"  {row}")
+        stats = answer.statistics
+        print(f"  time: {stats.total_time_ms:.2f} ms, shipment: {stats.total_shipment_kb:.2f} KB, "
+              f"local partial matches: {stats.counter('partial_evaluation', 'local_partial_matches')}")
+
+
+if __name__ == "__main__":
+    main()

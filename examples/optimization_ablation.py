@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Optimization ablation: what each of the paper's three optimizations buys.
+
+The paper's Fig. 9 compares four configurations of the same engine —
+gStoreD-Basic (plain partial evaluation and assembly, as in the earlier
+framework), gStoreD-LA (+ LEC-feature-based assembly), gStoreD-LO (+ LEC
+feature-based pruning) and gStoreD (+ candidate bit-vector exchange).
+
+This example runs the ablation on the YAGO2-like workload and prints, per
+query and configuration: response time, data shipment, the number of local
+partial matches that reached the coordinator, and the number of join
+attempts the assembly performed.  The join-attempt and shipped-LPM columns
+show *why* the optimizations help, not just that they do.
+
+Run it with::
+
+    python examples/optimization_ablation.py
+"""
+
+from repro.bench import format_table
+from repro.core import ABLATION_CONFIGS, GStoreDEngine
+from repro.datasets import yago
+from repro.distributed import build_cluster
+from repro.partition import HashPartitioner
+
+NUM_SITES = 6
+
+
+def main() -> None:
+    graph = yago.generate(scale=1)
+    cluster = build_cluster(HashPartitioner(NUM_SITES).partition(graph))
+    queries = yago.queries()
+    print("Dataset:", graph.stats())
+    print("Cluster:", cluster.stats())
+
+    rows = []
+    for query_name, query in queries.items():
+        for config in ABLATION_CONFIGS:
+            cluster.reset_network()
+            engine = GStoreDEngine(cluster, config)
+            result = engine.execute(query, query_name=query_name, dataset="YAGO2")
+            stats = result.statistics
+            rows.append(
+                {
+                    "query": query_name,
+                    "engine": config.label,
+                    "time_ms": round(stats.total_time_ms, 2),
+                    "shipment_kb": round(stats.total_shipment_kb, 2),
+                    "lpms_found": stats.counter("partial_evaluation", "local_partial_matches"),
+                    "lpms_assembled": stats.counter("assembly", "assembled_local_partial_matches"),
+                    "join_attempts": stats.counter("assembly", "join_attempts"),
+                    "results": stats.num_results,
+                }
+            )
+    print("\nAblation results (rows grouped by query):")
+    print(format_table(rows))
+
+    print(
+        "\nReading guide: gStoreD-LA reduces 'join_attempts' without changing what is shipped;\n"
+        "gStoreD-LO additionally shrinks 'lpms_assembled' (irrelevant partial matches are pruned\n"
+        "before shipping); the full gStoreD also shrinks 'lpms_found' because extended candidates\n"
+        "that are internal nowhere are never expanded in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Partitioning advisor: pick the best existing partitioning for a workload.
+
+Section VII of the paper observes that the cost of the "partial evaluation
+and assembly" framework does not depend simply on the number of crossing
+edges: what matters is how the crossing edges are *distributed* over
+boundary vertices, combined with how balanced the fragments are.  The paper
+therefore defines CostPartitioning(F) and selects, among the partitionings
+that already exist, the one with the smallest cost.
+
+This example plays the role of that advisor on the LUBM-like dataset:
+
+1. build the three candidate partitionings (hash, semantic hash, METIS-like),
+2. score them with the Section VII cost model,
+3. pick the best one, and
+4. verify the prediction by actually running the non-star benchmark queries
+   over every candidate and comparing response times and shipped bytes.
+
+Run it with::
+
+    python examples/partitioning_advisor.py
+"""
+
+from repro.bench import format_table
+from repro.core import EngineConfig, GStoreDEngine
+from repro.datasets import lubm
+from repro.distributed import build_cluster
+from repro.partition import (
+    HashPartitioner,
+    MetisLikePartitioner,
+    SemanticHashPartitioner,
+    partitioning_cost,
+    select_best_partitioning,
+)
+
+NUM_SITES = 6
+QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
+
+
+def main() -> None:
+    graph = lubm.generate(scale=1)
+    print("Dataset:", graph.stats())
+
+    candidates = [
+        HashPartitioner(NUM_SITES).partition(graph),
+        SemanticHashPartitioner(NUM_SITES).partition(graph),
+        MetisLikePartitioner(NUM_SITES).partition(graph),
+    ]
+
+    print("\nSection VII cost of each candidate partitioning:")
+    cost_rows = [partitioning_cost(candidate).as_row() for candidate in candidates]
+    print(format_table(cost_rows))
+
+    best, best_cost = select_best_partitioning(candidates)
+    print(f"\nAdvisor's choice: {best.strategy!r} (cost {best_cost.cost:.2f})")
+
+    print("\nVerification — running the non-star LUBM queries on every candidate:")
+    verification_rows = []
+    queries = lubm.queries()
+    for candidate in candidates:
+        cluster = build_cluster(candidate)
+        engine = GStoreDEngine(cluster, EngineConfig.full())
+        total_time = 0.0
+        total_shipment = 0.0
+        for name in QUERIES:
+            cluster.reset_network()
+            result = engine.execute(queries[name], query_name=name, dataset="LUBM")
+            total_time += result.statistics.total_time_ms
+            total_shipment += result.statistics.total_shipment_kb
+        verification_rows.append(
+            {
+                "partitioning": candidate.strategy,
+                "predicted_cost": round(partitioning_cost(candidate).cost, 2),
+                "workload_time_ms": round(total_time, 1),
+                "workload_shipment_kb": round(total_shipment, 1),
+            }
+        )
+    print(format_table(verification_rows))
+
+    fastest = min(verification_rows, key=lambda row: row["workload_time_ms"])
+    print(
+        f"\nFastest partitioning in the measurement: {fastest['partitioning']!r}; "
+        f"advisor predicted: {best.strategy!r}"
+    )
+
+
+if __name__ == "__main__":
+    main()

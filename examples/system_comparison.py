@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare gStoreD with the simulated DREAM / S2RDF / CliqueSquare / S2X baselines.
+
+A small-scale rendition of the paper's Fig. 12: every system answers the
+same benchmark queries over the same partitioned data, and the table reports
+response time, data shipment and result counts.  All systems must agree on
+the answers (the script checks this), so the interesting columns are the
+costs.
+
+Run it with::
+
+    python examples/system_comparison.py [LUBM|YAGO2|BTC]
+"""
+
+import sys
+
+from repro.baselines import BASELINE_ENGINES, make_baseline
+from repro.bench import format_table
+from repro.core import EngineConfig, GStoreDEngine
+from repro.datasets import get_dataset
+from repro.distributed import build_cluster
+from repro.partition import HashPartitioner
+
+NUM_SITES = 6
+
+
+def main(dataset_name: str = "YAGO2") -> None:
+    spec = get_dataset(dataset_name)
+    graph = spec.generate(spec.default_scale)
+    cluster = build_cluster(HashPartitioner(NUM_SITES).partition(graph))
+    queries = spec.queries()
+    print(f"Dataset {dataset_name}: {graph.stats()}")
+
+    rows = []
+    reference_answers = {}
+    for query_name, query in queries.items():
+        cluster.reset_network()
+        gstored = GStoreDEngine(cluster, EngineConfig.full())
+        result = gstored.execute(query, query_name=query_name, dataset=dataset_name)
+        reference_answers[query_name] = result.results.as_set()
+        rows.append(
+            {
+                "query": query_name,
+                "system": "gStoreD",
+                "time_ms": round(result.statistics.total_time_ms, 2),
+                "shipment_kb": round(result.statistics.total_shipment_kb, 2),
+                "results": len(result.results),
+            }
+        )
+        for baseline_name in BASELINE_ENGINES:
+            cluster.reset_network()
+            baseline = make_baseline(baseline_name, cluster)
+            baseline_result = baseline.execute(query, query_name=query_name, dataset=dataset_name)
+            agrees = baseline_result.results.as_set() == reference_answers[query_name]
+            rows.append(
+                {
+                    "query": query_name,
+                    "system": baseline_name,
+                    "time_ms": round(baseline_result.statistics.total_time_ms, 2),
+                    "shipment_kb": round(baseline_result.statistics.total_shipment_kb, 2),
+                    "results": len(baseline_result.results),
+                    "agrees": agrees,
+                }
+            )
+
+    print(format_table(rows))
+    disagreements = [row for row in rows if row.get("agrees") is False]
+    print(f"\nSystems disagreeing with gStoreD: {len(disagreements)} (expected 0)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "YAGO2")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that legacy installation paths (``python setup.py develop`` or pip
+versions without PEP 660 editable support / the ``wheel`` package) keep
+working in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Accelerating Partial Evaluation in Distributed SPARQL Query Evaluation" (ICDE 2019).
+
+The package provides, end to end:
+
+* an RDF data model and N-Triples I/O (:mod:`repro.rdf`),
+* a SPARQL BGP parser and query-graph model (:mod:`repro.sparql`),
+* a centralized indexed triple store and matcher (:mod:`repro.store`),
+* vertex-disjoint graph partitioning with the paper's cost model
+  (:mod:`repro.partition`),
+* a simulated distributed runtime with data-shipment accounting
+  (:mod:`repro.distributed`),
+* the paper's contribution — LEC-feature-accelerated partial evaluation and
+  assembly (:mod:`repro.core`),
+* simulated comparison systems (:mod:`repro.baselines`),
+* scaled-down LUBM/YAGO2/BTC-like workloads (:mod:`repro.datasets`), and
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.bench`).
+
+Quickstart
+----------
+
+>>> from repro import quickstart_cluster, GStoreDEngine, parse_query
+>>> cluster, namespaces = quickstart_cluster()
+>>> engine = GStoreDEngine(cluster)
+>>> query = parse_query(
+...     'PREFIX ex: <http://example.org/> '
+...     'SELECT ?p2 ?l WHERE { ?t ex:label ?l . ?p1 ex:influencedBy ?p2 . '
+...     '?p2 ex:mainInterest ?t . ?p1 ex:name "Crispin Wright"@en . }'
+... )
+>>> answer = engine.execute(query)
+>>> len(answer.results) > 0
+True
+"""
+
+from .core import (
+    ABLATION_CONFIGS,
+    DistributedResult,
+    EngineConfig,
+    GStoreDEngine,
+    LECFeature,
+    LocalPartialMatch,
+    OptimizationLevel,
+)
+from .distributed import Cluster, QueryStatistics, build_cluster
+from .partition import (
+    HashPartitioner,
+    MetisLikePartitioner,
+    PartitionedGraph,
+    SemanticHashPartitioner,
+    make_partitioner,
+    partitioning_cost,
+    select_best_partitioning,
+)
+from .rdf import IRI, Literal, Namespace, NamespaceManager, RDFGraph, Triple, Variable
+from .sparql import Binding, ResultSet, SelectQuery, parse_query
+from .store import LocalMatcher, TripleStore, evaluate_centralized
+
+__version__ = "1.0.0"
+
+
+def quickstart_cluster(num_fragments: int = 3, strategy: str = "hash"):
+    """Build a tiny ready-to-query cluster over the paper's running example.
+
+    Returns a ``(cluster, namespace_manager)`` pair.  See ``examples/quickstart.py``
+    for a fuller tour.
+    """
+    from .datasets.paper_example import EXAMPLE_NAMESPACES, build_example_graph
+
+    graph = build_example_graph()
+    partitioner = make_partitioner(strategy, num_fragments)
+    partitioned = partitioner.partition(graph)
+    return build_cluster(partitioned), EXAMPLE_NAMESPACES
+
+
+__all__ = [
+    "ABLATION_CONFIGS",
+    "Binding",
+    "Cluster",
+    "DistributedResult",
+    "EngineConfig",
+    "GStoreDEngine",
+    "HashPartitioner",
+    "IRI",
+    "LECFeature",
+    "Literal",
+    "LocalMatcher",
+    "LocalPartialMatch",
+    "MetisLikePartitioner",
+    "Namespace",
+    "NamespaceManager",
+    "OptimizationLevel",
+    "PartitionedGraph",
+    "QueryStatistics",
+    "RDFGraph",
+    "ResultSet",
+    "SelectQuery",
+    "SemanticHashPartitioner",
+    "Triple",
+    "TripleStore",
+    "Variable",
+    "build_cluster",
+    "evaluate_centralized",
+    "make_partitioner",
+    "parse_query",
+    "partitioning_cost",
+    "quickstart_cluster",
+    "select_best_partitioning",
+    "__version__",
+]

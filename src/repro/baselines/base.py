@@ -1,0 +1,66 @@
+"""Common interface of every comparison system.
+
+The online-performance experiment (Fig. 12) compares gStoreD against four
+publicly available distributed RDF systems.  Those systems are JVM / Spark /
+MPI codebases; what the comparison needs from them is their *query-processing
+strategy* — how they decompose queries, where intermediate results are
+produced and how much data moves — so each baseline here re-implements that
+strategy over the same simulated :class:`~repro.distributed.Cluster` the
+gStoreD engine runs on.  Every baseline returns the standard
+:class:`~repro.core.engine.DistributedResult`, so correctness can be checked
+against the centralized matcher and costs can be tabulated uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from ..distributed.cluster import Cluster
+from ..distributed.network import NATIVE_PLATFORM, PlatformModel
+from ..distributed.stats import QueryStatistics, StageStats
+from ..core.engine import DistributedResult
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import ResultSet
+
+
+class DistributedEngine(ABC):
+    """Abstract base class of gStoreD's comparison systems."""
+
+    #: Name used in reports and figures.
+    name: str = "abstract"
+    #: Execution-platform overhead model: native engines (DREAM) pay nothing,
+    #: cloud engines (Spark/Hadoop/GraphX) pay a per-distributed-stage cost.
+    platform: PlatformModel = NATIVE_PLATFORM
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def _charge_stage(self, stage: StageStats, platform_stages: int = 0) -> None:
+        """Add the modelled network-transfer and platform overheads to a stage."""
+        stage.network_time_s = self.cluster.network.transfer_time(stage.shipped_bytes, stage.messages)
+        stage.platform_time_s += self.platform.stage_cost(platform_stages)
+
+    @abstractmethod
+    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> DistributedResult:
+        """Evaluate ``query`` and return its solutions plus statistics."""
+
+    def _new_statistics(self, query_name: str, dataset: str) -> QueryStatistics:
+        return QueryStatistics(
+            query_name=query_name,
+            engine=self.name,
+            dataset=dataset,
+            partitioning=self.cluster.partitioned_graph.strategy,
+        )
+
+    def _finalize(
+        self,
+        query: SelectQuery,
+        bindings,
+        stats: QueryStatistics,
+    ) -> DistributedResult:
+        results = ResultSet(bindings, query.variables)
+        projected = results.project(query.effective_projection, distinct=True)
+        limited = projected.limit(query.limit)
+        stats.num_results = len(limited)
+        return DistributedResult(limited, stats)

@@ -1,0 +1,70 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+The benchmark modules print, for every table and figure of the paper, the
+same rows/series the paper reports (times, shipments, counts).  This module
+owns the formatting so the output looks consistent across experiments and is
+easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    """Human-friendly rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(cells[i]) for cells in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append(" | ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a figure-style series: one row per x-value, one column per line."""
+    labels = list(series)
+    x_values: List[str] = []
+    for points in series.values():
+        for x in points:
+            if x not in x_values:
+                x_values.append(x)
+    rows = []
+    for x in x_values:
+        row: Dict[str, object] = {"x": x}
+        for label in labels:
+            row[label] = series[label].get(x, "")
+        rows.append(row)
+    return f"{title}\n" + format_table(rows, columns=["x", *labels])
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Print one experiment block with a banner (used by benchmarks/examples)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}")

@@ -1,0 +1,231 @@
+"""Command-line interface for the reproduction.
+
+The CLI covers the workflow a downstream user actually runs:
+
+* ``repro generate``  — build one of the bundled synthetic datasets and write
+  it as N-Triples;
+* ``repro partition`` — partition a dataset with one of the strategies,
+  report the Section VII cost, and optionally save the workspace;
+* ``repro query``     — execute a SPARQL BGP query (inline or from a file)
+  over a partitioned workspace or an ad-hoc partitioning, with any engine
+  configuration or baseline system;
+* ``repro experiment`` — regenerate one of the paper's tables/figures.
+
+Every subcommand prints plain text so the tool composes with shell pipelines;
+``main()`` returns the process exit code and never calls ``sys.exit`` itself,
+which keeps it easy to test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baselines import BASELINE_ENGINES, make_baseline
+from .bench import (
+    ablation_series,
+    comparison_series,
+    format_series,
+    format_table,
+    partitioning_cost_table,
+    per_stage_table,
+    scalability_series,
+)
+from .core import EngineConfig, GStoreDEngine, OptimizationLevel
+from .datasets import get_dataset
+from .distributed import build_cluster
+from .partition import (
+    load_workspace,
+    make_partitioner,
+    partitioning_cost,
+    refine_partitioning,
+    save_workspace,
+)
+from .rdf import dump as dump_ntriples
+from .rdf import load as load_ntriples
+from .sparql import parse_query
+
+#: Engine aliases accepted by ``repro query --engine``.
+ENGINE_CHOICES = ("gstored", "basic", "la", "lo") + tuple(name.lower() for name in BASELINE_ENGINES)
+
+_LEVELS = {
+    "gstored": OptimizationLevel.FULL,
+    "basic": OptimizationLevel.BASIC,
+    "la": OptimizationLevel.LA,
+    "lo": OptimizationLevel.LO,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed SPARQL evaluation with LEC-feature-accelerated partial evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic benchmark dataset")
+    generate.add_argument("dataset", choices=("LUBM", "YAGO2", "BTC"))
+    generate.add_argument("--scale", type=int, default=1, help="scale factor (default 1)")
+    generate.add_argument("--seed", type=int, default=None, help="override the generator seed")
+    generate.add_argument("--output", required=True, help="output N-Triples file")
+
+    partition = subparsers.add_parser("partition", help="partition an N-Triples dataset")
+    partition.add_argument("input", help="N-Triples file to partition")
+    partition.add_argument("--strategy", choices=("hash", "semantic_hash", "metis"), default="hash")
+    partition.add_argument("--sites", type=int, default=6, help="number of fragments/sites")
+    partition.add_argument("--refine", action="store_true", help="apply cost-guided refinement")
+    partition.add_argument("--workspace", help="directory to save the partitioned workspace into")
+
+    query = subparsers.add_parser("query", help="run a SPARQL BGP query over a partitioned dataset")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workspace", help="workspace directory written by 'repro partition'")
+    source.add_argument("--data", help="N-Triples file to partition on the fly")
+    query.add_argument("--strategy", choices=("hash", "semantic_hash", "metis"), default="hash")
+    query.add_argument("--sites", type=int, default=6)
+    query.add_argument("--engine", choices=ENGINE_CHOICES, default="gstored")
+    query_text = query.add_mutually_exclusive_group(required=True)
+    query_text.add_argument("--query", help="SPARQL query text")
+    query_text.add_argument("--query-file", help="file containing the SPARQL query")
+    query.add_argument("--show-stats", action="store_true", help="print per-stage statistics")
+    query.add_argument("--limit", type=int, default=20, help="maximum solutions to print")
+
+    experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=("table1", "table2", "table3", "table4", "fig9", "fig10", "fig11", "fig12"),
+    )
+    experiment.add_argument("--sites", type=int, default=6)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    graph = spec.generate(**kwargs)
+    count = dump_ntriples(graph, args.output)
+    print(f"wrote {count} triples to {args.output} ({args.dataset}, scale {args.scale})")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = load_ntriples(args.input)
+    partitioner = make_partitioner(args.strategy, args.sites)
+    partitioned = partitioner.partition(graph)
+    if args.refine:
+        partitioned, report = refine_partitioning(partitioned)
+        print(
+            f"refinement: {report.moves} moves over {report.passes} passes, "
+            f"cost {report.initial_cost:.2f} -> {report.final_cost:.2f}"
+        )
+    cost = partitioning_cost(partitioned)
+    print(format_table([{**partitioned.stats(), "cost": round(cost.cost, 2)}]))
+    if args.workspace:
+        paths = save_workspace(partitioned, args.workspace)
+        print(f"workspace saved: {paths['graph']} + {paths['assignment']}")
+    return 0
+
+
+def _load_cluster(args: argparse.Namespace):
+    if args.workspace:
+        partitioned = load_workspace(args.workspace)
+    else:
+        graph = load_ntriples(args.data)
+        partitioned = make_partitioner(args.strategy, args.sites).partition(graph)
+    return build_cluster(partitioned)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    cluster = _load_cluster(args)
+    if args.query_file:
+        query_text = Path(args.query_file).read_text(encoding="utf-8")
+    else:
+        query_text = args.query
+    query = parse_query(query_text)
+
+    engine_name = args.engine.lower()
+    if engine_name in _LEVELS:
+        engine = GStoreDEngine(cluster, EngineConfig.for_level(_LEVELS[engine_name]))
+    else:
+        proper_name = next(name for name in BASELINE_ENGINES if name.lower() == engine_name)
+        engine = make_baseline(proper_name, cluster)
+    result = engine.execute(query, query_name="cli")
+
+    print(f"{len(result.results)} solutions ({result.statistics.engine})")
+    for row in result.results.to_table()[: args.limit]:
+        print("  " + ", ".join(f"{key}={value}" for key, value in sorted(row.items())))
+    if args.show_stats:
+        print(format_table([stage.as_dict() for stage in result.statistics.stages]))
+        print(
+            f"total: {result.statistics.total_time_ms:.2f} ms, "
+            f"{result.statistics.total_shipment_kb:.2f} KB shipped"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    sites = args.sites
+    if args.name == "table1":
+        print(format_table(per_stage_table("LUBM", num_sites=sites)))
+    elif args.name == "table2":
+        print(format_table(per_stage_table("YAGO2", num_sites=sites)))
+    elif args.name == "table3":
+        print(format_table(per_stage_table("BTC", num_sites=sites)))
+    elif args.name == "table4":
+        print(format_table(partitioning_cost_table(num_sites=sites)))
+    elif args.name == "fig9":
+        print(format_series("Fig. 9(a) LUBM", ablation_series("LUBM", ("LQ1", "LQ3", "LQ6", "LQ7"), num_sites=sites)))
+        print(format_series("Fig. 9(b) YAGO2", ablation_series("YAGO2", ("YQ1", "YQ2", "YQ3", "YQ4"), num_sites=sites)))
+    elif args.name == "fig10":
+        from .bench import lec_feature_shipment_series, partitioning_performance_series
+
+        print(
+            format_series(
+                "Fig. 10(a) LUBM times",
+                partitioning_performance_series("LUBM", ("LQ1", "LQ3", "LQ6", "LQ7"), num_sites=sites),
+            )
+        )
+        print(
+            format_series(
+                "Fig. 10(b) YAGO2 LEC shipment",
+                lec_feature_shipment_series("YAGO2", ("YQ1", "YQ2", "YQ3", "YQ4"), num_sites=sites),
+            )
+        )
+    elif args.name == "fig11":
+        print(format_series("Fig. 11(a) stars", scalability_series(("LQ2", "LQ4", "LQ5"), num_sites=sites)))
+        print(format_series("Fig. 11(b) others", scalability_series(("LQ1", "LQ3", "LQ6", "LQ7"), num_sites=sites)))
+    elif args.name == "fig12":
+        for dataset in ("YAGO2", "LUBM", "BTC"):
+            print(format_series(f"Fig. 12 {dataset}", comparison_series(dataset, num_sites=sites)))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "partition": _cmd_partition,
+    "query": _cmd_query,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by both the console script and the tests."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Assembly of local partial matches into complete matches (Section V).
+
+After pruning, the coordinator joins the surviving local partial matches
+(LPMs) from all sites into complete crossing matches.  Two strategies are
+implemented:
+
+* :class:`BasicAssembler` — the join of the original framework [18]: the
+  join graph is built over *individual* LPMs and explored with a DFS.  It is
+  correct but its join space grows with the number of LPMs; the paper uses
+  it as the gStoreD-Basic baseline.
+* :class:`LECAssembler` — Algorithm 3: LPMs are first grouped by the
+  LECSign of their LEC feature (Theorem 5: same sign ⇒ never joinable), a
+  join graph is built over the *groups*, and the DFS explores group
+  combinations, joining members pairwise only when the group-level structure
+  allows it.  This prunes whole families of join attempts at once.
+
+Both assemblers return the same set of complete matches (asserted by the
+test-suite); they differ only in how much work they do to find them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..sparql.bindings import Binding
+from ..sparql.query_graph import QueryGraph
+from .lec import LECFeature, features_joinable, lec_feature_of
+from .partial_match import LocalPartialMatch
+
+
+@dataclass
+class AssemblyOutcome:
+    """Result and work counters of one assembly run."""
+
+    matches: List[LocalPartialMatch] = field(default_factory=list)
+    join_attempts: int = 0
+    successful_joins: int = 0
+    groups: int = 0
+
+    def bindings(self) -> List[Binding]:
+        return [match.to_binding() for match in self.matches]
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matches)
+
+
+class BaseAssembler:
+    """Shared DFS machinery of both assembly strategies."""
+
+    def __init__(self, query: QueryGraph) -> None:
+        self._query = query
+        self._full_mask = (1 << query.num_vertices) - 1
+        self._max_depth = query.num_vertices
+
+    def assemble(self, lpms: Sequence[LocalPartialMatch]) -> AssemblyOutcome:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _emit_if_complete(self, candidate: LocalPartialMatch, outcome: AssemblyOutcome, seen: Set[FrozenSet]) -> bool:
+        if candidate.internal_mask != self._full_mask:
+            return False
+        key = candidate.assignment
+        if key not in seen:
+            seen.add(key)
+            outcome.matches.append(candidate)
+        return True
+
+
+class BasicAssembler(BaseAssembler):
+    """The ungrouped join of [18]: DFS over individual local partial matches.
+
+    Every LPM is a seed; each partial result is extended by any joinable LPM.
+    A visited-set over partial results keeps the search from re-expanding the
+    same intermediate state reached through different join orders, but unlike
+    the LEC-based assembler no structural grouping narrows the set of join
+    partners that get *attempted* — which is exactly the cost the paper's
+    ablation (Fig. 9) measures.
+    """
+
+    def assemble(self, lpms: Sequence[LocalPartialMatch]) -> AssemblyOutcome:
+        outcome = AssemblyOutcome()
+        seen_matches: Set[FrozenSet] = set()
+        visited_partials: Set[LocalPartialMatch] = set()
+        items = list(lpms)
+        outcome.groups = len(items)
+        for lpm in items:
+            self._emit_if_complete(lpm, outcome, seen_matches)
+        for seed in items:
+            self._extend(seed, items, outcome, seen_matches, visited_partials)
+        return outcome
+
+    def _extend(
+        self,
+        partial: LocalPartialMatch,
+        items: Sequence[LocalPartialMatch],
+        outcome: AssemblyOutcome,
+        seen_matches: Set[FrozenSet],
+        visited_partials: Set[LocalPartialMatch],
+    ) -> None:
+        # Every join adds at least one internally-matched query vertex, so a
+        # partial covering all vertices is already complete and never needs
+        # further extension.
+        if bin(partial.internal_mask).count("1") >= self._query.num_vertices:
+            return
+        for other in items:
+            outcome.join_attempts += 1
+            if not partial.can_join(other):
+                continue
+            outcome.successful_joins += 1
+            joined = partial.join(other)
+            if self._emit_if_complete(joined, outcome, seen_matches):
+                continue
+            # The state key must capture everything future joins depend on:
+            # the same vertex/edge assignment can be reached through different
+            # constituent sets with different crossing edges or internal masks.
+            key = joined
+            if key in visited_partials:
+                continue
+            visited_partials.add(key)
+            self._extend(joined, items, outcome, seen_matches, visited_partials)
+
+
+class LECAssembler(BaseAssembler):
+    """Algorithm 3: LEC feature-based assembly."""
+
+    def assemble(self, lpms: Sequence[LocalPartialMatch]) -> AssemblyOutcome:
+        outcome = AssemblyOutcome()
+        seen_matches: Set[FrozenSet] = set()
+        for lpm in lpms:
+            self._emit_if_complete(lpm, outcome, seen_matches)
+
+        groups = self._group_by_sign(lpms)
+        outcome.groups = len(groups)
+        if not groups:
+            return outcome
+        features_per_group = {
+            sign: {lec_feature_of(lpm) for lpm in members} for sign, members in groups.items()
+        }
+        join_graph = self._build_group_join_graph(features_per_group)
+
+        remaining = set(groups)
+        while remaining:
+            sign_min = min(remaining, key=lambda sign: (len(groups[sign]), sign))
+            self._explore({sign_min}, list(groups[sign_min]), groups, join_graph, remaining, outcome, seen_matches)
+            remaining.discard(sign_min)
+            for sign in list(remaining):
+                if not (join_graph.get(sign, set()) & remaining):
+                    remaining.discard(sign)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Grouping (Definition 11) and the group join graph
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_by_sign(lpms: Sequence[LocalPartialMatch]) -> Dict[int, List[LocalPartialMatch]]:
+        groups: Dict[int, List[LocalPartialMatch]] = defaultdict(list)
+        for lpm in lpms:
+            groups[lpm.internal_mask].append(lpm)
+        return dict(groups)
+
+    def _build_group_join_graph(
+        self, features_per_group: Mapping[int, Set[LECFeature]]
+    ) -> Dict[int, Set[int]]:
+        signs = list(features_per_group)
+        adjacency: Dict[int, Set[int]] = {sign: set() for sign in signs}
+        for i, sign_a in enumerate(signs):
+            for sign_b in signs[i + 1 :]:
+                if any(
+                    features_joinable(fa, fb, self._query)
+                    for fa in features_per_group[sign_a]
+                    for fb in features_per_group[sign_b]
+                ):
+                    adjacency[sign_a].add(sign_b)
+                    adjacency[sign_b].add(sign_a)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # DFS over the group join graph (function ComParJoin of the paper)
+    # ------------------------------------------------------------------
+    def _explore(
+        self,
+        used_signs: Set[int],
+        partials: Sequence[LocalPartialMatch],
+        groups: Mapping[int, Sequence[LocalPartialMatch]],
+        join_graph: Mapping[int, Set[int]],
+        active_signs: Set[int],
+        outcome: AssemblyOutcome,
+        seen_matches: Set[FrozenSet],
+    ) -> None:
+        if not partials or len(used_signs) >= self._max_depth:
+            return
+        neighbour_signs: Set[int] = set()
+        for sign in used_signs:
+            neighbour_signs |= join_graph.get(sign, set())
+        neighbour_signs &= active_signs
+        neighbour_signs -= used_signs
+        for sign in sorted(neighbour_signs):
+            extended: List[LocalPartialMatch] = []
+            for partial in partials:
+                for other in groups[sign]:
+                    outcome.join_attempts += 1
+                    if not partial.can_join(other):
+                        continue
+                    outcome.successful_joins += 1
+                    joined = partial.join(other)
+                    if not self._emit_if_complete(joined, outcome, seen_matches):
+                        extended.append(joined)
+            if extended:
+                self._explore(used_signs | {sign}, extended, groups, join_graph, active_signs, outcome, seen_matches)
+
+
+def assemble_matches(
+    query: QueryGraph,
+    lpms: Sequence[LocalPartialMatch],
+    use_lec_grouping: bool = True,
+) -> AssemblyOutcome:
+    """Assemble ``lpms`` into complete matches with the chosen strategy."""
+    assembler: BaseAssembler
+    if use_lec_grouping:
+        assembler = LECAssembler(query)
+    else:
+        assembler = BasicAssembler(query)
+    return assembler.assemble(lpms)

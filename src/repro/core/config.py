@@ -1,0 +1,129 @@
+"""Engine configuration and optimization levels.
+
+The paper's ablation (Fig. 9) compares four configurations of the same
+engine:
+
+* ``gStoreD-Basic`` — partial evaluation + the ungrouped join of [18];
+* ``gStoreD-LA``    — + LEC feature-based assembly (Algorithm 3);
+* ``gStoreD-LO``    — + LEC feature-based pruning (Algorithms 1-2);
+* ``gStoreD``       — + assembling variables' internal candidates (Algorithm 4).
+
+:class:`EngineConfig` captures the three independent switches plus a couple
+of knobs (bit-vector width, star-query shortcut) and provides named
+constructors for the four paper configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict
+
+from .candidate_exchange import DEFAULT_BIT_VECTOR_BITS
+
+
+class OptimizationLevel(str, Enum):
+    """The four configurations evaluated in the paper's Fig. 9."""
+
+    BASIC = "basic"
+    LA = "la"
+    LO = "lo"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Switches controlling which of the paper's optimizations are active."""
+
+    #: Use the LEC feature-based assembly (Algorithm 3) instead of the
+    #: ungrouped join of [18].
+    use_lec_assembly: bool = True
+    #: Run LEC feature-based pruning (Algorithms 1-2) before assembly.
+    use_lec_pruning: bool = True
+    #: Run the candidate bit-vector exchange (Algorithm 4) before partial
+    #: evaluation.
+    use_candidate_exchange: bool = True
+    #: Evaluate star queries purely locally (the paper's observation that
+    #: every result of a star query lies within a single fragment).
+    star_shortcut: bool = True
+    #: Width of the candidate bit vectors, in bits.
+    bit_vector_bits: int = DEFAULT_BIT_VECTOR_BITS
+    #: Re-validate every enumerated local partial match against Definition 5
+    #: (slow; meant for tests and debugging).
+    paranoid_validation: bool = False
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def basic(cls) -> "EngineConfig":
+        return cls(use_lec_assembly=False, use_lec_pruning=False, use_candidate_exchange=False)
+
+    @classmethod
+    def lec_assembly_only(cls) -> "EngineConfig":
+        return cls(use_lec_assembly=True, use_lec_pruning=False, use_candidate_exchange=False)
+
+    @classmethod
+    def lec_optimized(cls) -> "EngineConfig":
+        return cls(use_lec_assembly=True, use_lec_pruning=True, use_candidate_exchange=False)
+
+    @classmethod
+    def full(cls) -> "EngineConfig":
+        return cls(use_lec_assembly=True, use_lec_pruning=True, use_candidate_exchange=True)
+
+    @classmethod
+    def for_level(cls, level: OptimizationLevel) -> "EngineConfig":
+        factories = {
+            OptimizationLevel.BASIC: cls.basic,
+            OptimizationLevel.LA: cls.lec_assembly_only,
+            OptimizationLevel.LO: cls.lec_optimized,
+            OptimizationLevel.FULL: cls.full,
+        }
+        return factories[level]()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> OptimizationLevel:
+        """The closest named level for reporting purposes."""
+        if self.use_candidate_exchange and self.use_lec_pruning and self.use_lec_assembly:
+            return OptimizationLevel.FULL
+        if self.use_lec_pruning and self.use_lec_assembly:
+            return OptimizationLevel.LO
+        if self.use_lec_assembly:
+            return OptimizationLevel.LA
+        return OptimizationLevel.BASIC
+
+    @property
+    def label(self) -> str:
+        """The gStoreD-style label used in the paper's figures."""
+        return {
+            OptimizationLevel.BASIC: "gStoreD-Basic",
+            OptimizationLevel.LA: "gStoreD-LA",
+            OptimizationLevel.LO: "gStoreD-LO",
+            OptimizationLevel.FULL: "gStoreD",
+        }[self.level]
+
+    def with_options(self, **changes) -> "EngineConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "lec_assembly": self.use_lec_assembly,
+            "lec_pruning": self.use_lec_pruning,
+            "candidate_exchange": self.use_candidate_exchange,
+            "star_shortcut": self.star_shortcut,
+            "bit_vector_bits": self.bit_vector_bits,
+        }
+
+
+#: All four paper configurations, in the order Fig. 9 plots them.
+ABLATION_CONFIGS = (
+    EngineConfig.basic(),
+    EngineConfig.lec_assembly_only(),
+    EngineConfig.lec_optimized(),
+    EngineConfig.full(),
+)

@@ -1,0 +1,341 @@
+"""The gStoreD engine: partial evaluation and assembly over a simulated cluster.
+
+:class:`GStoreDEngine` orchestrates the full pipeline of the paper on top of
+one :class:`~repro.distributed.Cluster`:
+
+1. *Initialization / candidate exchange* (optional, Algorithm 4): sites
+   compress their internal candidate sets into bit vectors, the coordinator
+   ORs them and broadcasts the union.
+2. *Partial evaluation*: every site enumerates (a) its fragment-local
+   complete matches and (b) its local partial matches (Definition 5),
+   filtering extended candidates with the stage-1 bit vectors.
+3. *LEC feature-based pruning* (optional, Algorithms 1-2): sites compress
+   LPMs into LEC features, the coordinator joins the features and reports
+   which ones can contribute to a complete match; the sites drop the rest.
+4. *Assembly* (Algorithm 3 or the ungrouped join of [18]): the surviving
+   LPMs are shipped to the coordinator and joined into crossing matches,
+   which are merged with the fragment-local matches.
+
+Star queries are answered purely locally when ``star_shortcut`` is enabled —
+every match of a star query is contained in a single fragment because
+crossing edges are replicated — which reproduces the zero-cost optimization
+rows of the paper's Tables I-III.
+
+Every stage's wall-clock time (per site and for the coordinator) and every
+inter-site message is recorded in a :class:`~repro.distributed.QueryStatistics`,
+from which the benchmark harness rebuilds the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..distributed.cluster import Cluster
+from ..distributed.network import COORDINATOR, StageTimer
+from ..distributed.stats import QueryStatistics
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import Binding, ResultSet
+from ..sparql.query_graph import QueryGraph
+from .assembly import AssemblyOutcome, assemble_matches
+from .candidate_exchange import GlobalCandidateFilter, build_site_vectors, union_site_vectors
+from .config import EngineConfig
+from .lec import LECFeature, compute_lec_features, lec_feature_of
+from .partial_eval import PartialEvaluator
+from .partial_match import LocalPartialMatch
+from .pruning import prune_features
+
+#: Stage names used consistently in statistics, tables and tests.
+STAGE_CANDIDATES = "candidate_exchange"
+STAGE_PARTIAL_EVAL = "partial_evaluation"
+STAGE_PRUNING = "lec_pruning"
+STAGE_ASSEMBLY = "assembly"
+
+
+@dataclass
+class DistributedResult:
+    """A query's solutions plus the execution statistics that produced them."""
+
+    results: ResultSet
+    statistics: QueryStatistics
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class GStoreDEngine:
+    """Partial-evaluation-and-assembly SPARQL engine over a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[EngineConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or EngineConfig.full()
+        self.name = name or self.config.label
+
+
+    def _charge_network(self, stage) -> None:
+        """Convert the stage's shipped bytes/messages into modelled transfer time."""
+        stage.network_time_s = self.cluster.network.transfer_time(stage.shipped_bytes, stage.messages)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: SelectQuery,
+        query_name: str = "",
+        dataset: str = "",
+    ) -> DistributedResult:
+        """Run ``query`` through the full distributed pipeline."""
+        stats = QueryStatistics(
+            query_name=query_name,
+            engine=self.name,
+            dataset=dataset,
+            partitioning=self.cluster.partitioned_graph.strategy,
+        )
+        query_graph = QueryGraph(query.bgp)
+        timer = StageTimer()
+
+        if self.config.star_shortcut and query_graph.is_star():
+            bindings = self._evaluate_star(query, timer, stats)
+        else:
+            bindings = self._evaluate_general(query, query_graph, timer, stats)
+
+        results = ResultSet(bindings, query.variables)
+        projected = results.project(query.effective_projection, distinct=True)
+        limited = projected.limit(query.limit)
+        stats.num_results = len(limited)
+        stats.extra["query_shape"] = query_graph.classify_shape()
+        stats.extra["selective"] = query_graph.has_selective_pattern()
+        return DistributedResult(limited, stats)
+
+    # ------------------------------------------------------------------
+    # Star shortcut
+    # ------------------------------------------------------------------
+    def _evaluate_star(
+        self,
+        query: SelectQuery,
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> List[Binding]:
+        """Evaluate a star query purely locally at every site."""
+        stage = stats.stage(STAGE_PARTIAL_EVAL)
+        all_bindings: List[Binding] = []
+        for site in self.cluster:
+            with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
+                local = site.local_evaluate(query)
+            shipped = self.cluster.bus.send(
+                site.site_id, COORDINATOR, "local_matches", list(local), STAGE_PARTIAL_EVAL
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+            all_bindings.extend(local)
+        stage.site_times_s.update(timer.site_times(STAGE_PARTIAL_EVAL))
+        self._charge_network(stage)
+        stage.add_counter("local_matches", len(all_bindings))
+        stage.add_counter("local_partial_matches", 0)
+        # Keep the optimization stages present (at zero cost) so the table
+        # rows show the same zeros as the paper does for star queries.
+        stats.stage(STAGE_CANDIDATES)
+        stats.stage(STAGE_PRUNING)
+        stats.stage(STAGE_ASSEMBLY).add_counter("crossing_matches", 0)
+        return all_bindings
+
+    # ------------------------------------------------------------------
+    # General pipeline
+    # ------------------------------------------------------------------
+    def _evaluate_general(
+        self,
+        query: SelectQuery,
+        query_graph: QueryGraph,
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> List[Binding]:
+        candidate_filter = self._candidate_exchange(query_graph, timer, stats)
+        local_bindings, lpms_by_site = self._partial_evaluation(
+            query, query_graph, candidate_filter, timer, stats
+        )
+        surviving_by_site = self._lec_pruning(query_graph, lpms_by_site, timer, stats)
+        crossing_bindings = self._assembly(query_graph, surviving_by_site, timer, stats)
+        return local_bindings + crossing_bindings
+
+    # -- Stage 1: Algorithm 4 -------------------------------------------------
+    def _candidate_exchange(
+        self,
+        query_graph: QueryGraph,
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> Optional[GlobalCandidateFilter]:
+        stage = stats.stage(STAGE_CANDIDATES)
+        if not self.config.use_candidate_exchange:
+            return None
+        per_site_vectors = []
+        internal_candidate_total = 0
+        for site in self.cluster:
+            with timer.measure(STAGE_CANDIDATES, site.site_id):
+                candidates = site.internal_candidates(query_graph)
+                vectors = build_site_vectors(candidates, self.config.bit_vector_bits)
+            internal_candidate_total += sum(len(values) for values in candidates.values())
+            per_site_vectors.append(vectors)
+            shipped = self.cluster.bus.send(
+                site.site_id, COORDINATOR, "candidate_vectors", list(vectors.values()), STAGE_CANDIDATES
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+        with timer.measure(STAGE_CANDIDATES, COORDINATOR):
+            global_filter = union_site_vectors(per_site_vectors, self.config.bit_vector_bits)
+        shipped = self.cluster.bus.broadcast(
+            COORDINATOR, self.cluster.site_ids, "global_candidate_filter", global_filter, STAGE_CANDIDATES
+        )
+        stage.shipped_bytes += shipped
+        stage.messages += self.cluster.num_sites
+        stage.site_times_s.update(timer.site_times(STAGE_CANDIDATES))
+        stage.coordinator_time_s += timer.elapsed(STAGE_CANDIDATES, COORDINATOR)
+        self._charge_network(stage)
+        stage.add_counter("internal_candidates", internal_candidate_total)
+        stage.add_counter("variables", len(global_filter))
+        return global_filter
+
+    # -- Stage 2: partial evaluation -------------------------------------------
+    def _partial_evaluation(
+        self,
+        query: SelectQuery,
+        query_graph: QueryGraph,
+        candidate_filter: Optional[GlobalCandidateFilter],
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> Tuple[List[Binding], Dict[int, List[LocalPartialMatch]]]:
+        stage = stats.stage(STAGE_PARTIAL_EVAL)
+        local_bindings: List[Binding] = []
+        lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
+        filtered_branches = 0
+        for site in self.cluster:
+            with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
+                local_results = site.local_evaluate(query)
+                evaluator = PartialEvaluator(
+                    site.fragment,
+                    graph=site.graph,
+                    paranoid=self.config.paranoid_validation,
+                )
+                outcome = evaluator.evaluate(query_graph, candidate_filter=candidate_filter)
+            local_bindings.extend(local_results)
+            lpms_by_site[site.site_id] = outcome.local_partial_matches
+            filtered_branches += outcome.branches_pruned_by_filter
+            shipped = self.cluster.bus.send(
+                site.site_id, COORDINATOR, "local_matches", list(local_results), STAGE_PARTIAL_EVAL
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+        stage.site_times_s.update(timer.site_times(STAGE_PARTIAL_EVAL))
+        self._charge_network(stage)
+        stage.add_counter("local_matches", len(local_bindings))
+        stage.add_counter(
+            "local_partial_matches", sum(len(lpms) for lpms in lpms_by_site.values())
+        )
+        stage.add_counter("filtered_extended_candidates", filtered_branches)
+        return local_bindings, lpms_by_site
+
+    # -- Stage 3: Algorithms 1-2 ------------------------------------------------
+    def _lec_pruning(
+        self,
+        query_graph: QueryGraph,
+        lpms_by_site: Dict[int, List[LocalPartialMatch]],
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> Dict[int, List[LocalPartialMatch]]:
+        stage = stats.stage(STAGE_PRUNING)
+        if not self.config.use_lec_pruning:
+            return lpms_by_site
+        classes_by_site: Dict[int, Dict[LECFeature, List[LocalPartialMatch]]] = {}
+        features_by_site: Dict[int, List[LECFeature]] = {}
+        for site_id, lpms in lpms_by_site.items():
+            with timer.measure(STAGE_PRUNING, site_id):
+                classes = compute_lec_features(lpms)
+            classes_by_site[site_id] = classes
+            features_by_site[site_id] = list(classes)
+            shipped = self.cluster.bus.send(
+                site_id, COORDINATOR, "lec_features", list(classes), STAGE_PRUNING
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+        with timer.measure(STAGE_PRUNING, COORDINATOR):
+            outcome, surviving_features = prune_features(query_graph, features_by_site)
+        for site_id in lpms_by_site:
+            shipped = self.cluster.bus.send(
+                COORDINATOR, site_id, "surviving_features", list(surviving_features[site_id]), STAGE_PRUNING
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+        surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
+        for site_id, classes in classes_by_site.items():
+            with timer.measure(STAGE_PRUNING, site_id):
+                kept: List[LocalPartialMatch] = []
+                for feature, members in classes.items():
+                    if feature in surviving_features[site_id]:
+                        kept.extend(members)
+            surviving_by_site[site_id] = kept
+        stage.site_times_s.update(timer.site_times(STAGE_PRUNING))
+        stage.coordinator_time_s += timer.elapsed(STAGE_PRUNING, COORDINATOR)
+        self._charge_network(stage)
+        stage.add_counter("lec_features", outcome.total_features)
+        stage.add_counter("lec_feature_groups", outcome.groups)
+        stage.add_counter("surviving_features", len(outcome.surviving))
+        stage.add_counter(
+            "pruned_local_partial_matches",
+            sum(len(lpms) for lpms in lpms_by_site.values())
+            - sum(len(lpms) for lpms in surviving_by_site.values()),
+        )
+        return surviving_by_site
+
+    # -- Stage 4: assembly --------------------------------------------------------
+    def _assembly(
+        self,
+        query_graph: QueryGraph,
+        lpms_by_site: Dict[int, List[LocalPartialMatch]],
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> List[Binding]:
+        stage = stats.stage(STAGE_ASSEMBLY)
+        all_lpms: List[LocalPartialMatch] = []
+        for site_id, lpms in lpms_by_site.items():
+            shipped = self.cluster.bus.send(
+                site_id, COORDINATOR, "local_partial_matches", lpms, STAGE_ASSEMBLY
+            )
+            stage.shipped_bytes += shipped
+            stage.messages += 1
+            all_lpms.extend(lpms)
+        with timer.measure(STAGE_ASSEMBLY, COORDINATOR):
+            outcome = assemble_matches(query_graph, all_lpms, use_lec_grouping=self.config.use_lec_assembly)
+        stage.coordinator_time_s += timer.elapsed(STAGE_ASSEMBLY, COORDINATOR)
+        self._charge_network(stage)
+        stage.add_counter("assembled_local_partial_matches", len(all_lpms))
+        stage.add_counter("crossing_matches", outcome.num_matches)
+        stage.add_counter("join_attempts", outcome.join_attempts)
+        stage.add_counter("lpm_groups", outcome.groups)
+        return outcome.bindings()
+
+
+def execute_ablation(
+    cluster: Cluster,
+    query: SelectQuery,
+    query_name: str = "",
+    dataset: str = "",
+    configs: Optional[List[EngineConfig]] = None,
+) -> List[DistributedResult]:
+    """Run the same query under several engine configurations (Fig. 9 helper)."""
+    from .config import ABLATION_CONFIGS
+
+    chosen = configs if configs is not None else list(ABLATION_CONFIGS)
+    results = []
+    for config in chosen:
+        cluster.reset_network()
+        engine = GStoreDEngine(cluster, config)
+        results.append(engine.execute(query, query_name=query_name, dataset=dataset))
+    return results

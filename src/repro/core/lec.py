@@ -1,0 +1,231 @@
+"""LEC features: compressing local partial matches (Section IV).
+
+Local partial matches that come from the same fragment, contain the same
+crossing edges, and map those crossing edges to the same query edges are
+structurally interchangeable (Theorem 1): whatever one of them can join
+with, all of them can (Theorem 2).  They form a *local partial match
+equivalence class* (LEC), and the whole class is summarised by a *LEC
+feature* (Definition 8):
+
+* the fragment identifier,
+* the mapping ``g`` from its crossing edges to query edges, and
+* ``LECSign`` — a bitstring over the query vertices whose ``i``-th bit is set
+  when query vertex ``v_i`` maps to an internal vertex of the fragment.
+
+Only LEC features travel over the network during the pruning stage, which is
+what makes the optimization *partition bounded*: the number of features
+depends on the query size and the crossing edges, never on the data size.
+
+This module implements the feature itself, Algorithm 1 (computing features
+from a stream of local partial matches), the joinability test of Definition
+9, the feature join, and the LECSign-based grouping of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rdf.triples import Triple
+from ..sparql.query_graph import QueryGraph
+from .partial_match import LocalPartialMatch
+
+
+@dataclass(frozen=True)
+class LECFeature:
+    """The compact summary of one local partial match equivalence class.
+
+    ``crossing_map`` is the function ``g`` of Definition 8 as a frozenset of
+    (query edge index, data crossing edge) pairs; ``lec_sign`` is the
+    LECSign bitmask over query-vertex indices.
+    """
+
+    fragment_id: int
+    crossing_map: FrozenSet[Tuple[int, Triple]]
+    lec_sign: int
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def crossing_edges(self) -> Set[Triple]:
+        return {triple for _, triple in self.crossing_map}
+
+    def query_edges(self) -> Set[int]:
+        return {index for index, _ in self.crossing_map}
+
+    def sign_bits(self, num_vertices: int) -> str:
+        """LECSign rendered as a bitstring (mostly for logs and tests)."""
+        return "".join("1" if self.lec_sign >> i & 1 else "0" for i in range(num_vertices))
+
+    def shipment_size(self) -> int:
+        """Approximate serialized size: fragment id + g + LECSign.
+
+        Matches the paper's cost analysis: O(|E_Q|) for ``g`` plus O(|V_Q|)
+        for the bitstring plus a constant for the fragment identifier.
+        """
+        size = 8 + 4  # fragment id + bitmask
+        for _, triple in self.crossing_map:
+            size += 4 + len(triple.subject.n3()) + len(triple.predicate.n3()) + len(triple.object.n3())
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        edges = ", ".join(f"#{index}" for index, _ in sorted(self.crossing_map, key=lambda p: p[0]))
+        return f"<LECFeature F{self.fragment_id} edges=[{edges}] sign={bin(self.lec_sign)}>"
+
+
+def lec_feature_of(lpm: LocalPartialMatch) -> LECFeature:
+    """The LEC feature of a single local partial match (Definition 8)."""
+    return LECFeature(
+        fragment_id=lpm.fragment_id,
+        crossing_map=lpm.crossing_assignment,
+        lec_sign=lpm.internal_mask,
+    )
+
+
+def compute_lec_features(lpms: Iterable[LocalPartialMatch]) -> Dict[LECFeature, List[LocalPartialMatch]]:
+    """Algorithm 1: one linear scan over the local partial matches.
+
+    Returns the mapping from each distinct LEC feature to the equivalence
+    class (the list of LPMs it summarises); the key set alone is what gets
+    shipped to the coordinator.
+    """
+    classes: Dict[LECFeature, List[LocalPartialMatch]] = defaultdict(list)
+    for lpm in lpms:
+        classes[lec_feature_of(lpm)].append(lpm)
+    return dict(classes)
+
+
+# ----------------------------------------------------------------------
+# Joinability (Definition 9) and feature joins
+# ----------------------------------------------------------------------
+def _crossing_maps_conflict(
+    left: FrozenSet[Tuple[int, Triple]],
+    right: FrozenSet[Tuple[int, Triple]],
+    query: QueryGraph,
+) -> bool:
+    """Detect conflicting crossing-edge mappings between two features.
+
+    A conflict arises when the same query edge is mapped to two different
+    data edges (condition 3 of Definition 9) or when a shared query *vertex*
+    would have to map to two different data vertices — the vertex-level
+    consequence of the paper's requirement that joined partial matches agree
+    on every common query vertex.
+    """
+    left_edges = dict(left)
+    for index, triple in right:
+        if index in left_edges and left_edges[index] != triple:
+            return True
+    vertex_values: Dict[object, object] = {}
+    for index, triple in list(left) + list(right):
+        edge = query.edge_at(index)
+        for query_vertex, data_vertex in ((edge.subject, triple.subject), (edge.object, triple.object)):
+            existing = vertex_values.get(query_vertex)
+            if existing is not None and existing != data_vertex:
+                return True
+            vertex_values[query_vertex] = data_vertex
+    return False
+
+
+def features_joinable(left: LECFeature, right: LECFeature, query: QueryGraph) -> bool:
+    """Definition 9: can the LPMs of these two classes join pairwise?"""
+    if left.fragment_id == right.fragment_id:
+        return False
+    if left.lec_sign & right.lec_sign:
+        return False
+    if not (left.crossing_map & right.crossing_map):
+        return False
+    return not _crossing_maps_conflict(left.crossing_map, right.crossing_map, query)
+
+
+@dataclass(frozen=True)
+class JoinedLECFeature:
+    """A partial join of several LEC features (used by Algorithm 2).
+
+    Tracks which original features were combined so that the pruning stage
+    can report exactly which features participate in a complete combination.
+    """
+
+    fragment_ids: FrozenSet[int]
+    crossing_map: FrozenSet[Tuple[int, Triple]]
+    lec_sign: int
+    constituents: FrozenSet[LECFeature]
+
+    @classmethod
+    def from_feature(cls, feature: LECFeature) -> "JoinedLECFeature":
+        return cls(
+            fragment_ids=frozenset({feature.fragment_id}),
+            crossing_map=feature.crossing_map,
+            lec_sign=feature.lec_sign,
+            constituents=frozenset({feature}),
+        )
+
+    def joinable_with(self, feature: LECFeature, query: QueryGraph) -> bool:
+        """Extend Definition 9 to a partial join.
+
+        The new feature must share a crossing edge with the accumulated
+        combination, contribute disjoint internally-matched vertices and not
+        conflict on any crossing-edge mapping.  Fragment-set disjointness is
+        deliberately *not* required: one crossing match may overlap a single
+        fragment in several disconnected internal regions, each contributing
+        its own feature to the combination (see Theorem 4, whose conditions
+        are per-pair joinability plus sign disjointness — not one feature per
+        fragment).
+        """
+        if self.lec_sign & feature.lec_sign:
+            return False
+        if not (self.crossing_map & feature.crossing_map):
+            return False
+        return not _crossing_maps_conflict(self.crossing_map, feature.crossing_map, query)
+
+    def join(self, feature: LECFeature) -> "JoinedLECFeature":
+        return JoinedLECFeature(
+            fragment_ids=self.fragment_ids | {feature.fragment_id},
+            crossing_map=self.crossing_map | feature.crossing_map,
+            lec_sign=self.lec_sign | feature.lec_sign,
+            constituents=self.constituents | {feature},
+        )
+
+    def is_complete(self, query: QueryGraph) -> bool:
+        """Theorem 4, condition 3: every query vertex is internally matched."""
+        return self.lec_sign == (1 << query.num_vertices) - 1
+
+
+# ----------------------------------------------------------------------
+# LECSign-based grouping (Theorem 5 / Definition 10)
+# ----------------------------------------------------------------------
+def group_features_by_sign(features: Iterable[LECFeature]) -> Dict[int, List[LECFeature]]:
+    """Group LEC features by LECSign.
+
+    Theorem 5: two features with the same LECSign can never be joinable, so
+    each group is join-free and the join graph only needs edges *between*
+    groups.
+    """
+    groups: Dict[int, List[LECFeature]] = defaultdict(list)
+    for feature in features:
+        groups[feature.lec_sign].append(feature)
+    return dict(groups)
+
+
+def groups_joinable(
+    left: Sequence[LECFeature],
+    right: Sequence[LECFeature],
+    query: QueryGraph,
+) -> bool:
+    """Whether *some* pair of features across the two groups is joinable."""
+    return any(features_joinable(a, b, query) for a in left for b in right)
+
+
+def build_join_graph(
+    groups: Mapping[int, Sequence[LECFeature]],
+    query: QueryGraph,
+) -> Dict[int, Set[int]]:
+    """The join graph over LECSign groups (vertices = signs, edges = joinable pairs)."""
+    signs = list(groups)
+    adjacency: Dict[int, Set[int]] = {sign: set() for sign in signs}
+    for i, sign_a in enumerate(signs):
+        for sign_b in signs[i + 1 :]:
+            if groups_joinable(groups[sign_a], groups[sign_b], query):
+                adjacency[sign_a].add(sign_b)
+                adjacency[sign_b].add(sign_a)
+    return adjacency

@@ -1,0 +1,282 @@
+"""Partial evaluation: enumerating local partial matches inside one fragment.
+
+Each site receives the full query graph and enumerates, against only its own
+fragment, every local partial match of Definition 5.  The algorithm is the
+one from the original "partial evaluation and assembly" framework [18]
+(which this paper re-uses unchanged — its contributions start *after* the
+LPMs exist), implemented as a crossing-edge-seeded expansion:
+
+1. every LPM contains at least one crossing edge, so each (crossing data
+   edge, compatible query edge) pair seeds one search branch;
+2. a query vertex mapped to an *internal* vertex must have all of its query
+   edges matched (condition 5), so the search repeatedly picks an
+   internally-mapped query vertex with an unmatched incident query edge and
+   branches over the fragment data edges that can extend it;
+3. when no internal vertex has unmatched edges left, the branch has produced
+   a candidate LPM; the remaining query vertices stay NULL, and the
+   Definition 5 side conditions are verified.
+
+Seeding from every crossing edge makes the enumeration complete (every LPM's
+internally-matched region touches at least one crossing edge); a final
+dedup by assignment removes the copies found from different seeds.
+
+The optional ``candidate_filter`` implements the Section VI optimization: an
+extended vertex may only be used when the coordinator's global bit vector
+says it is an internal candidate of *some* site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..partition.fragment import Fragment
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
+from ..rdf.triples import Triple
+from ..sparql.query_graph import QueryEdge, QueryGraph
+from .candidate_exchange import GlobalCandidateFilter
+from .partial_match import LocalPartialMatch, check_local_partial_match
+
+
+@dataclass
+class PartialEvaluationResult:
+    """Output of one site's partial evaluation."""
+
+    fragment_id: int
+    local_partial_matches: List[LocalPartialMatch] = field(default_factory=list)
+    seeds_explored: int = 0
+    branches_pruned_by_filter: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.local_partial_matches)
+
+
+class PartialEvaluator:
+    """Enumerates the local partial matches of a query over one fragment."""
+
+    def __init__(
+        self,
+        fragment: Fragment,
+        graph: Optional[RDFGraph] = None,
+        paranoid: bool = False,
+    ) -> None:
+        self._fragment = fragment
+        self._graph = graph if graph is not None else fragment.to_graph()
+        #: When True, every produced LPM is re-checked against Definition 5
+        #: (slower; used by tests).
+        self._paranoid = paranoid
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query: QueryGraph,
+        candidate_filter: Optional[GlobalCandidateFilter] = None,
+    ) -> PartialEvaluationResult:
+        """Enumerate every local partial match of ``query`` in this fragment."""
+        result = PartialEvaluationResult(fragment_id=self._fragment.fragment_id)
+        seen: Set[Tuple[frozenset, frozenset]] = set()
+        for query_edge in query.edges:
+            for data_edge in self._compatible_crossing_edges(query_edge):
+                result.seeds_explored += 1
+                self._expand_seed(query, query_edge, data_edge, candidate_filter, seen, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+    def _compatible_crossing_edges(self, query_edge: QueryEdge) -> Iterable[Triple]:
+        """Crossing edges of the fragment that can match ``query_edge``."""
+        for triple in self._fragment.crossing_edges:
+            if self._edge_label_matches(query_edge, triple) and self._endpoints_compatible(
+                query_edge, triple
+            ):
+                yield triple
+
+    @staticmethod
+    def _edge_label_matches(query_edge: QueryEdge, triple: Triple) -> bool:
+        if isinstance(query_edge.predicate, Variable):
+            return True
+        return query_edge.predicate == triple.predicate
+
+    @staticmethod
+    def _endpoints_compatible(query_edge: QueryEdge, triple: Triple) -> bool:
+        if isinstance(query_edge.subject, (IRI, Literal)) and query_edge.subject != triple.subject:
+            return False
+        if isinstance(query_edge.object, (IRI, Literal)) and query_edge.object != triple.object:
+            return False
+        return True
+
+    def _expand_seed(
+        self,
+        query: QueryGraph,
+        query_edge: QueryEdge,
+        data_edge: Triple,
+        candidate_filter: Optional[GlobalCandidateFilter],
+        seen: Set[Tuple[frozenset, frozenset]],
+        result: PartialEvaluationResult,
+    ) -> None:
+        mapping: Dict[PatternTerm, Node] = {}
+        edge_mapping: Dict[int, Triple] = {}
+        if not self._try_assign(query_edge.subject, data_edge.subject, mapping, candidate_filter, result):
+            return
+        if not self._try_assign(query_edge.object, data_edge.object, mapping, candidate_filter, result):
+            return
+        edge_mapping[query_edge.index] = data_edge
+        self._expand(query, mapping, edge_mapping, candidate_filter, seen, result)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        query: QueryGraph,
+        mapping: Dict[PatternTerm, Node],
+        edge_mapping: Dict[int, Triple],
+        candidate_filter: Optional[GlobalCandidateFilter],
+        seen: Set[Tuple[frozenset, frozenset]],
+        result: PartialEvaluationResult,
+    ) -> None:
+        pending = self._next_forced_edge(query, mapping, edge_mapping)
+        if pending is None:
+            self._emit(query, mapping, edge_mapping, seen, result)
+            return
+        query_edge, anchor_vertex = pending
+        for data_edge in self._extension_edges(query_edge, anchor_vertex, mapping):
+            new_vertex, new_value = self._new_assignment(query_edge, anchor_vertex, data_edge)
+            added_vertex = False
+            if new_vertex is not None:
+                existing = mapping.get(new_vertex)
+                if existing is not None:
+                    if existing != new_value:
+                        continue
+                else:
+                    if not self._try_assign(new_vertex, new_value, mapping, candidate_filter, result):
+                        continue
+                    added_vertex = True
+            edge_mapping[query_edge.index] = data_edge
+            self._expand(query, mapping, edge_mapping, candidate_filter, seen, result)
+            del edge_mapping[query_edge.index]
+            if added_vertex and new_vertex is not None:
+                del mapping[new_vertex]
+
+    def _next_forced_edge(
+        self,
+        query: QueryGraph,
+        mapping: Dict[PatternTerm, Node],
+        edge_mapping: Dict[int, Triple],
+    ) -> Optional[Tuple[QueryEdge, PatternTerm]]:
+        """The next (query edge, internally-mapped anchor) that condition 5 forces us to match."""
+        for vertex, value in mapping.items():
+            if not self._fragment.is_internal(value):
+                continue
+            for edge in query.edges_of(vertex):
+                if edge.index not in edge_mapping:
+                    return edge, vertex
+        return None
+
+    def _extension_edges(
+        self,
+        query_edge: QueryEdge,
+        anchor_vertex: PatternTerm,
+        mapping: Dict[PatternTerm, Node],
+    ) -> Iterable[Triple]:
+        """Fragment data edges that can match ``query_edge`` from the anchor's value."""
+        anchor_value = mapping[anchor_vertex]
+        predicate = None if isinstance(query_edge.predicate, Variable) else query_edge.predicate
+        if query_edge.subject == anchor_vertex:
+            other_vertex = query_edge.object
+            other_value = mapping.get(other_vertex)
+            if other_value is None and isinstance(other_vertex, (IRI, Literal)):
+                other_value = other_vertex
+            candidates = self._graph.triples(anchor_value, predicate, other_value)
+        else:
+            other_vertex = query_edge.subject
+            other_value = mapping.get(other_vertex)
+            if other_value is None and isinstance(other_vertex, (IRI, Literal)):
+                other_value = other_vertex
+            candidates = self._graph.triples(other_value, predicate, anchor_value)
+        yield from candidates
+
+    @staticmethod
+    def _new_assignment(
+        query_edge: QueryEdge,
+        anchor_vertex: PatternTerm,
+        data_edge: Triple,
+    ) -> Tuple[Optional[PatternTerm], Optional[Node]]:
+        """The (query vertex, data vertex) pair the extension would newly assign."""
+        if query_edge.subject == anchor_vertex:
+            return query_edge.object, data_edge.object
+        return query_edge.subject, data_edge.subject
+
+    def _try_assign(
+        self,
+        vertex: PatternTerm,
+        value: Node,
+        mapping: Dict[PatternTerm, Node],
+        candidate_filter: Optional[GlobalCandidateFilter],
+        result: PartialEvaluationResult,
+    ) -> bool:
+        """Assign ``vertex -> value`` if the Definition 5 local conditions allow it."""
+        if isinstance(vertex, (IRI, Literal)):
+            if vertex != value:
+                return False
+        if value not in self._fragment.all_vertices:
+            return False
+        if (
+            candidate_filter is not None
+            and isinstance(vertex, Variable)
+            and self._fragment.is_extended(value)
+            and not candidate_filter.allows(vertex, value)
+        ):
+            result.branches_pruned_by_filter += 1
+            return False
+        mapping[vertex] = value
+        return True
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        query: QueryGraph,
+        mapping: Dict[PatternTerm, Node],
+        edge_mapping: Dict[int, Triple],
+        seen: Set[Tuple[frozenset, frozenset]],
+        result: PartialEvaluationResult,
+    ) -> None:
+        key = (frozenset(mapping.items()), frozenset(edge_mapping.items()))
+        if key in seen:
+            return
+        seen.add(key)
+        crossing_indexes = {
+            index for index, triple in edge_mapping.items() if triple in self._fragment.crossing_edges
+        }
+        if not crossing_indexes:
+            return
+        lpm = LocalPartialMatch.build(
+            fragment_id=self._fragment.fragment_id,
+            mapping=mapping,
+            edge_mapping=edge_mapping,
+            crossing_edge_indexes=crossing_indexes,
+            query=query,
+            fragment=self._fragment,
+        )
+        if self._paranoid and check_local_partial_match(lpm, query, self._fragment):
+            return
+        result.local_partial_matches.append(lpm)
+
+
+def evaluate_fragment(
+    fragment: Fragment,
+    query: QueryGraph,
+    graph: Optional[RDFGraph] = None,
+    candidate_filter: Optional[GlobalCandidateFilter] = None,
+    paranoid: bool = False,
+) -> PartialEvaluationResult:
+    """Convenience wrapper: enumerate the LPMs of ``query`` over ``fragment``."""
+    evaluator = PartialEvaluator(fragment, graph=graph, paranoid=paranoid)
+    return evaluator.evaluate(query, candidate_filter=candidate_filter)

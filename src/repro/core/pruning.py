@@ -1,0 +1,142 @@
+"""LEC feature-based pruning (Section IV-C, Algorithm 2).
+
+The coordinator receives every site's LEC features, groups them by LECSign
+(Theorem 5: features with equal LECSign can never join), builds the join
+graph over the groups, and explores joinable combinations with a DFS.  A
+combination whose ORed LECSign covers every query vertex witnesses that its
+constituent features can contribute to a complete match; every feature that
+appears in no such combination is pruned, and with it every local partial
+match of its equivalence class.
+
+The implementation tracks constituents at the level of individual features
+(slightly finer than the group-level bookkeeping in the paper's pseudo-code),
+which only prunes *more* irrelevant partial matches and never a relevant
+one: a feature is kept if and only if it participates in at least one
+complete combination, which is exactly the condition of Theorem 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..sparql.query_graph import QueryGraph
+from .lec import (
+    JoinedLECFeature,
+    LECFeature,
+    build_join_graph,
+    group_features_by_sign,
+)
+
+
+@dataclass
+class PruningOutcome:
+    """Result of running Algorithm 2 at the coordinator."""
+
+    surviving: Set[LECFeature] = field(default_factory=set)
+    total_features: int = 0
+    groups: int = 0
+    join_attempts: int = 0
+    complete_combinations: int = 0
+
+    @property
+    def pruned_count(self) -> int:
+        return self.total_features - len(self.surviving)
+
+    def survives(self, feature: LECFeature) -> bool:
+        return feature in self.surviving
+
+
+class LECFeaturePruner:
+    """Runs the LEC feature-based pruning algorithm for one query."""
+
+    def __init__(self, query: QueryGraph, max_combination_size: Optional[int] = None) -> None:
+        self._query = query
+        # A complete match uses at most |V_Q| partial matches (each must
+        # contribute at least one internally matched vertex).
+        self._max_size = max_combination_size or query.num_vertices
+
+    def prune(self, features: Iterable[LECFeature]) -> PruningOutcome:
+        """Algorithm 2: return the features that can contribute to a match."""
+        all_features = list(dict.fromkeys(features))
+        outcome = PruningOutcome(total_features=len(all_features))
+        if not all_features:
+            return outcome
+        full_mask = (1 << self._query.num_vertices) - 1
+
+        # Single-feature completeness: a feature whose LECSign already covers
+        # the query can stand alone (its LPMs span the whole query inside one
+        # fragment through crossing edges).
+        for feature in all_features:
+            if feature.lec_sign == full_mask:
+                outcome.surviving.add(feature)
+                outcome.complete_combinations += 1
+
+        groups = group_features_by_sign(all_features)
+        outcome.groups = len(groups)
+        join_graph = build_join_graph(groups, self._query)
+        remaining_signs = set(groups)
+
+        while remaining_signs:
+            sign_min = min(remaining_signs, key=lambda sign: (len(groups[sign]), sign))
+            seeds = [JoinedLECFeature.from_feature(feature) for feature in groups[sign_min]]
+            self._explore({sign_min}, seeds, groups, join_graph, remaining_signs, outcome)
+            remaining_signs.discard(sign_min)
+            # Drop groups that no longer neighbour anything still active.
+            for sign in list(remaining_signs):
+                if not (join_graph.get(sign, set()) & remaining_signs):
+                    remaining_signs.discard(sign)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # DFS over the join graph (function ComLECFJoin of the paper)
+    # ------------------------------------------------------------------
+    def _explore(
+        self,
+        used_signs: Set[int],
+        partials: Sequence[JoinedLECFeature],
+        groups: Mapping[int, Sequence[LECFeature]],
+        join_graph: Mapping[int, Set[int]],
+        active_signs: Set[int],
+        outcome: PruningOutcome,
+    ) -> None:
+        if not partials or len(used_signs) >= self._max_size:
+            return
+        neighbour_signs: Set[int] = set()
+        for sign in used_signs:
+            neighbour_signs |= join_graph.get(sign, set())
+        neighbour_signs &= active_signs
+        neighbour_signs -= used_signs
+        for sign in sorted(neighbour_signs):
+            extended: List[JoinedLECFeature] = []
+            for partial in partials:
+                for feature in groups[sign]:
+                    outcome.join_attempts += 1
+                    if not partial.joinable_with(feature, self._query):
+                        continue
+                    joined = partial.join(feature)
+                    if joined.is_complete(self._query):
+                        outcome.complete_combinations += 1
+                        outcome.surviving.update(joined.constituents)
+                    else:
+                        extended.append(joined)
+            if extended:
+                self._explore(used_signs | {sign}, extended, groups, join_graph, active_signs, outcome)
+
+
+def prune_features(
+    query: QueryGraph,
+    features_by_site: Mapping[int, Sequence[LECFeature]],
+) -> Tuple[PruningOutcome, Dict[int, Set[LECFeature]]]:
+    """Run the pruner over all sites' features; return per-site survivors.
+
+    The per-site result is what the coordinator ships back so each site can
+    discard the local partial matches of its pruned equivalence classes.
+    """
+    pruner = LECFeaturePruner(query)
+    every_feature = [feature for features in features_by_site.values() for feature in features]
+    outcome = pruner.prune(every_feature)
+    per_site: Dict[int, Set[LECFeature]] = {}
+    for site_id, features in features_by_site.items():
+        per_site[site_id] = {feature for feature in features if outcome.survives(feature)}
+    return outcome, per_site

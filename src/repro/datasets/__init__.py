@@ -1,0 +1,28 @@
+"""Workload generators and benchmark queries (LUBM-, YAGO2- and BTC-like)."""
+
+from .generator_utils import DatasetInfo
+from .paper_example import (
+    EXAMPLE_NAMESPACES,
+    build_example_graph,
+    build_example_partitioning,
+    example_query,
+)
+from .random_data import random_assignment, random_connected_query, random_graph
+from .registry import DATASETS, DatasetSpec, LUBM_SCALES, all_benchmark_queries, get_dataset, query_shape
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "DatasetSpec",
+    "EXAMPLE_NAMESPACES",
+    "LUBM_SCALES",
+    "all_benchmark_queries",
+    "build_example_graph",
+    "build_example_partitioning",
+    "example_query",
+    "get_dataset",
+    "query_shape",
+    "random_assignment",
+    "random_connected_query",
+    "random_graph",
+]

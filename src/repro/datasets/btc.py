@@ -1,0 +1,215 @@
+"""BTC-like synthetic dataset and the BQ1-BQ7 benchmark queries.
+
+The Billion Triple Challenge (BTC) datasets are heterogeneous crawls of the
+Semantic Web: FOAF social data, DBpedia-style encyclopaedic facts, GeoNames
+places and bibliographic records, all mixed together with many different
+vocabularies.  That heterogeneity — rather than a single clean schema — is
+what characterises the workload, and it is what this generator reproduces at
+a small scale: several loosely connected "data sources" whose entities
+reference each other across vocabulary boundaries.
+
+The seven benchmark queries keep the paper's shape mix: BQ1-BQ3 are
+selective star queries, BQ4-BQ5 selective non-star queries with small
+answers, and BQ6-BQ7 selective non-star queries with empty answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rdf.graph import RDFGraph
+from ..rdf.namespaces import Namespace, NamespaceManager
+from ..rdf.terms import IRI
+from ..sparql.algebra import SelectQuery
+from ..sparql.parser import parse_query
+from .generator_utils import DatasetInfo, GraphBuilder
+
+FOAF = Namespace("http://example.org/foaf/")
+DBP = Namespace("http://example.org/dbpedia/")
+DBP_ONT = Namespace("http://example.org/dbpedia-ontology#")
+GEO = Namespace("http://example.org/geonames/")
+DC = Namespace("http://example.org/dc/")
+SWRC = Namespace("http://example.org/swrc#")
+
+BTC_NAMESPACES = NamespaceManager(
+    {
+        "foaf": FOAF.base,
+        "dbp": DBP.base,
+        "dbo": DBP_ONT.base,
+        "geo": GEO.base,
+        "dc": DC.base,
+        "swrc": SWRC.base,
+    }
+)
+
+# FOAF vocabulary.
+FOAF_PERSON = FOAF.term("Person")
+FOAF_KNOWS = FOAF.term("knows")
+FOAF_NAME = FOAF.term("name")
+FOAF_HOMEPAGE = FOAF.term("homepage")
+FOAF_BASED_NEAR = FOAF.term("based_near")
+
+# DBpedia-like vocabulary.
+DBO_CITY = DBP_ONT.term("City")
+DBO_COMPANY = DBP_ONT.term("Company")
+DBO_LOCATED_IN = DBP_ONT.term("locatedIn")
+DBO_FOUNDED_BY = DBP_ONT.term("foundedBy")
+DBO_EMPLOYER = DBP_ONT.term("employer")
+DBO_LABEL = DBP_ONT.term("label")
+
+# GeoNames-like vocabulary.
+GEO_FEATURE = GEO.term("Feature")
+GEO_PARENT_FEATURE = GEO.term("parentFeature")
+GEO_NAME = GEO.term("name")
+
+# Bibliographic vocabulary.
+SWRC_ARTICLE = SWRC.term("Article")
+DC_CREATOR = DC.term("creator")
+DC_TITLE = DC.term("title")
+SWRC_JOURNAL = SWRC.term("journal")
+
+
+def generate(scale: int = 1, seed: int = 23) -> RDFGraph:
+    """Generate a BTC-like heterogeneous RDF graph."""
+    builder = GraphBuilder("BTC", seed)
+    num_regions = max(2, 2 * scale)
+    cities_per_region = 3
+    people_per_city = 10
+    companies = max(4, 4 * scale)
+    articles_per_region = 15
+
+    regions: List[IRI] = []
+    cities: List[IRI] = []
+    for r in range(num_regions):
+        region = GEO.term(f"Region{r}")
+        regions.append(region)
+        builder.add_type(region, GEO_FEATURE)
+        builder.add_literal(region, GEO_NAME, f"Region {r}")
+        for c in range(cities_per_region):
+            city = GEO.term(f"City{r}_{c}")
+            cities.append(city)
+            builder.add_type(city, GEO_FEATURE)
+            builder.add_type(city, DBO_CITY)
+            builder.add(city, GEO_PARENT_FEATURE, region)
+            builder.add_literal(city, GEO_NAME, f"City {r}.{c}")
+
+    company_entities: List[IRI] = []
+    for k in range(companies):
+        company = DBP.term(f"Company{k}")
+        company_entities.append(company)
+        builder.add_type(company, DBO_COMPANY)
+        builder.add(company, DBO_LOCATED_IN, builder.choice(cities))
+        builder.add_literal(company, DBO_LABEL, f"Company {k}", language="en")
+
+    people: List[IRI] = []
+    for index, city in enumerate(cities):
+        for p in range(people_per_city):
+            person = FOAF.term(f"Person{index}_{p}")
+            builder.add_type(person, FOAF_PERSON)
+            builder.add_literal(person, FOAF_NAME, f"Person {index}.{p}")
+            builder.add(person, FOAF_BASED_NEAR, city)
+            if builder.chance(0.6):
+                builder.add_literal(person, FOAF_HOMEPAGE, f"http://people.example.org/{index}/{p}")
+            if people:
+                for friend in builder.sample(people, 2):
+                    builder.add(person, FOAF_KNOWS, friend)
+            if builder.chance(0.4):
+                builder.add(person, DBO_EMPLOYER, builder.choice(company_entities))
+            people.append(person)
+
+    for k, company in enumerate(company_entities):
+        builder.add(company, DBO_FOUNDED_BY, builder.choice(people))
+
+    for r in range(num_regions):
+        for a in range(articles_per_region):
+            article = SWRC.term(f"Article{r}_{a}")
+            builder.add_type(article, SWRC_ARTICLE)
+            builder.add_literal(article, DC_TITLE, f"Article {r}.{a}")
+            builder.add_literal(article, SWRC_JOURNAL, f"Journal {a % 5}")
+            for author in builder.sample(people, 2):
+                builder.add(article, DC_CREATOR, author)
+    return builder.graph
+
+
+def dataset_info(graph: RDFGraph, scale: int) -> DatasetInfo:
+    stats = graph.stats()
+    return DatasetInfo("BTC", scale, stats["triples"], stats["vertices"], stats["predicates"])
+
+
+STAR_QUERIES = ("BQ1", "BQ2", "BQ3")
+COMPLEX_QUERIES = ("BQ4", "BQ5", "BQ6", "BQ7")
+
+
+def queries() -> Dict[str, SelectQuery]:
+    """The seven BTC benchmark queries (BQ1-BQ7)."""
+    prefix = (
+        f"PREFIX foaf: <{FOAF.base}> PREFIX dbp: <{DBP.base}> PREFIX dbo: <{DBP_ONT.base}> "
+        f"PREFIX geo: <{GEO.base}> PREFIX dc: <{DC.base}> PREFIX swrc: <{SWRC.base}> "
+        "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    )
+    texts = {
+        # BQ1 — selective star: details of one specific person.
+        "BQ1": """
+            SELECT ?name ?city WHERE {
+                foaf:Person0_0 foaf:name ?name .
+                foaf:Person0_0 foaf:based_near ?city .
+                foaf:Person0_0 rdf:type foaf:Person .
+            }
+        """,
+        # BQ2 — selective star: one company's profile.
+        "BQ2": """
+            SELECT ?label ?city ?founder WHERE {
+                dbp:Company0 dbo:label ?label .
+                dbp:Company0 dbo:locatedIn ?city .
+                dbp:Company0 dbo:foundedBy ?founder .
+            }
+        """,
+        # BQ3 — selective star with an empty answer: Region0 is a region,
+        # not a city, so the type pattern never matches.
+        "BQ3": """
+            SELECT ?name WHERE {
+                geo:Region0 geo:name ?name .
+                geo:Region0 rdf:type dbo:City .
+                geo:Region0 geo:parentFeature ?parent .
+            }
+        """,
+        # BQ4 — selective complex: employees of companies in one region and
+        # the articles they wrote.
+        "BQ4": """
+            SELECT ?person ?company ?article WHERE {
+                ?person dbo:employer ?company .
+                ?company dbo:locatedIn ?city .
+                ?city geo:parentFeature geo:Region0 .
+                ?article dc:creator ?person .
+            }
+        """,
+        # BQ5 — selective complex: founders based near the city their company
+        # is located in.
+        "BQ5": """
+            SELECT ?company ?founder ?city WHERE {
+                ?company dbo:foundedBy ?founder .
+                ?founder foaf:based_near ?city .
+                ?company dbo:locatedIn ?city .
+            }
+        """,
+        # BQ6 — selective complex, empty: articles are never created by
+        # companies.
+        "BQ6": """
+            SELECT ?article ?company WHERE {
+                ?article dc:creator ?company .
+                ?article dc:title ?title .
+                ?company rdf:type dbo:Company .
+                ?company dbo:locatedIn ?city .
+            }
+        """,
+        # BQ7 — selective complex, empty: homepages are literals, so they can
+        # never be the subject of foaf:knows.
+        "BQ7": """
+            SELECT ?person ?friend WHERE {
+                ?person foaf:homepage ?page .
+                ?page foaf:knows ?friend .
+                ?friend foaf:based_near ?city .
+            }
+        """,
+    }
+    return {name: parse_query(prefix + text) for name, text in texts.items()}

@@ -1,0 +1,76 @@
+"""Shared helpers for the synthetic dataset generators.
+
+All generators are deterministic for a given ``(scale, seed)`` pair so that
+tests and benchmarks are reproducible, and they all report the same summary
+statistics so the benchmark harness can print dataset tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+from ..rdf.graph import RDFGraph
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import IRI, Literal, Node
+from ..rdf.triples import Triple
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Summary of one generated dataset instance."""
+
+    name: str
+    scale: int
+    triples: int
+    vertices: int
+    predicates: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.name,
+            "scale": self.scale,
+            "triples": self.triples,
+            "vertices": self.vertices,
+            "predicates": self.predicates,
+        }
+
+
+class GraphBuilder:
+    """A small convenience wrapper used by every generator."""
+
+    def __init__(self, name: str, seed: int) -> None:
+        self.graph = RDFGraph(name=name)
+        self.rng = random.Random(seed)
+
+    def add(self, subject: Node, predicate: IRI, obj: Node) -> None:
+        self.graph.add(Triple(subject, predicate, obj))
+
+    def add_type(self, subject: Node, rdf_class: IRI) -> None:
+        self.graph.add(Triple(subject, RDF_TYPE, rdf_class))
+
+    def add_literal(self, subject: Node, predicate: IRI, text: str, language: str | None = None) -> None:
+        self.graph.add(Triple(subject, predicate, Literal(text, language=language)))
+
+    def choice(self, items: Sequence[T]) -> T:
+        return items[self.rng.randrange(len(items))]
+
+    def sample(self, items: Sequence[T], count: int) -> List[T]:
+        count = min(count, len(items))
+        return self.rng.sample(list(items), count)
+
+    def chance(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def info(self, name: str, scale: int) -> DatasetInfo:
+        stats = self.graph.stats()
+        return DatasetInfo(
+            name=name,
+            scale=scale,
+            triples=stats["triples"],
+            vertices=stats["vertices"],
+            predicates=stats["predicates"],
+        )

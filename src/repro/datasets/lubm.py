@@ -1,0 +1,252 @@
+"""LUBM-like synthetic dataset and the LQ1-LQ7 benchmark queries.
+
+LUBM (the Lehigh University Benchmark) models the university domain:
+universities contain departments; departments employ professors and
+lecturers; students take courses, have advisors and degrees; faculty publish
+papers.  The original generator scales by the number of universities, and the
+paper evaluates 100M/500M/1B-triple instances.
+
+This module generates a *scaled-down* dataset with the same schema flavour
+and connectivity patterns (department-centric clusters linked across
+universities through degrees and co-authorship), which is what the paper's
+evaluation shapes depend on.  The seven benchmark queries cover the same
+shape classes the paper uses:
+
+* stars — LQ2 (unselective), LQ4 and LQ5 (selective);
+* other shapes — LQ1 and LQ7 (unselective, many intermediate results),
+  LQ3 (unselective with an empty answer), LQ6 (selective).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rdf.graph import RDFGraph
+from ..rdf.namespaces import Namespace, NamespaceManager
+from ..rdf.terms import IRI
+from ..sparql.algebra import SelectQuery
+from ..sparql.parser import parse_query
+from .generator_utils import DatasetInfo, GraphBuilder
+
+#: The univ-bench-like ontology namespace used by the generator and queries.
+UB = Namespace("http://example.org/univ-bench#")
+#: Instance namespace.
+UNIV = Namespace("http://example.org/university/")
+
+LUBM_NAMESPACES = NamespaceManager({"ub": UB.base, "u": UNIV.base})
+
+# Classes.
+UNIVERSITY = UB.term("University")
+DEPARTMENT = UB.term("Department")
+FULL_PROFESSOR = UB.term("FullProfessor")
+ASSOCIATE_PROFESSOR = UB.term("AssociateProfessor")
+LECTURER = UB.term("Lecturer")
+GRADUATE_STUDENT = UB.term("GraduateStudent")
+UNDERGRADUATE_STUDENT = UB.term("UndergraduateStudent")
+COURSE = UB.term("Course")
+PUBLICATION = UB.term("Publication")
+RESEARCH_GROUP = UB.term("ResearchGroup")
+
+# Properties.
+SUB_ORGANIZATION_OF = UB.term("subOrganizationOf")
+WORKS_FOR = UB.term("worksFor")
+MEMBER_OF = UB.term("memberOf")
+TEACHER_OF = UB.term("teacherOf")
+TAKES_COURSE = UB.term("takesCourse")
+ADVISOR = UB.term("advisor")
+PUBLICATION_AUTHOR = UB.term("publicationAuthor")
+UNDERGRADUATE_DEGREE_FROM = UB.term("undergraduateDegreeFrom")
+DOCTORAL_DEGREE_FROM = UB.term("doctoralDegreeFrom")
+HEAD_OF = UB.term("headOf")
+NAME = UB.term("name")
+EMAIL = UB.term("emailAddress")
+TELEPHONE = UB.term("telephone")
+RESEARCH_INTEREST = UB.term("researchInterest")
+
+_INTERESTS = [
+    "databases",
+    "graphs",
+    "semantic web",
+    "machine learning",
+    "distributed systems",
+    "information retrieval",
+]
+
+
+def generate(scale: int = 1, seed: int = 7, universities_per_scale: int = 2) -> RDFGraph:
+    """Generate a LUBM-like RDF graph.
+
+    Parameters
+    ----------
+    scale:
+        Scale factor; the number of universities is
+        ``scale * universities_per_scale``.  The paper's LUBM 100M / 500M /
+        1B datasets map onto scales 1 / 5 / 10 in the benchmark harness.
+    seed:
+        RNG seed; the output is deterministic for a (scale, seed) pair.
+    universities_per_scale:
+        Universities generated per unit of scale.
+    """
+    builder = GraphBuilder("LUBM", seed)
+    num_universities = max(1, scale * universities_per_scale)
+    universities: List[IRI] = []
+    all_professors: List[IRI] = []
+    all_departments: List[IRI] = []
+
+    for u in range(num_universities):
+        university = UNIV.term(f"University{u}")
+        universities.append(university)
+        builder.add_type(university, UNIVERSITY)
+        builder.add_literal(university, NAME, f"University {u}")
+
+        for d in range(3):
+            department = UNIV.term(f"University{u}/Department{d}")
+            all_departments.append(department)
+            builder.add_type(department, DEPARTMENT)
+            builder.add(department, SUB_ORGANIZATION_OF, university)
+            builder.add_literal(department, NAME, f"Department {d} of University {u}")
+
+            professors: List[IRI] = []
+            courses: List[IRI] = []
+            for p in range(4):
+                professor = UNIV.term(f"University{u}/Department{d}/Professor{p}")
+                professors.append(professor)
+                all_professors.append(professor)
+                rdf_class = FULL_PROFESSOR if p == 0 else ASSOCIATE_PROFESSOR
+                builder.add_type(professor, rdf_class)
+                builder.add(professor, WORKS_FOR, department)
+                builder.add_literal(professor, NAME, f"Professor {p}.{d}.{u}")
+                builder.add_literal(professor, EMAIL, f"prof{p}.{d}.{u}@example.org")
+                builder.add_literal(professor, TELEPHONE, f"+1-555-{u:02d}{d}{p:02d}")
+                builder.add_literal(professor, RESEARCH_INTEREST, builder.choice(_INTERESTS))
+                if p == 0:
+                    builder.add(professor, HEAD_OF, department)
+                # Doctoral degree usually from *another* university: these are
+                # the long-range crossing edges the evaluation depends on.
+                degree_university = builder.choice(universities) if len(universities) > 1 else university
+                builder.add(professor, DOCTORAL_DEGREE_FROM, degree_university)
+
+            for l in range(2):
+                lecturer = UNIV.term(f"University{u}/Department{d}/Lecturer{l}")
+                builder.add_type(lecturer, LECTURER)
+                builder.add(lecturer, WORKS_FOR, department)
+                builder.add_literal(lecturer, NAME, f"Lecturer {l}.{d}.{u}")
+
+            for c in range(6):
+                course = UNIV.term(f"University{u}/Department{d}/Course{c}")
+                courses.append(course)
+                builder.add_type(course, COURSE)
+                builder.add_literal(course, NAME, f"Course {c}.{d}.{u}")
+                builder.add(builder.choice(professors), TEACHER_OF, course)
+
+            for g in range(6):
+                student = UNIV.term(f"University{u}/Department{d}/GraduateStudent{g}")
+                builder.add_type(student, GRADUATE_STUDENT)
+                builder.add(student, MEMBER_OF, department)
+                builder.add_literal(student, NAME, f"GradStudent {g}.{d}.{u}")
+                builder.add_literal(student, EMAIL, f"grad{g}.{d}.{u}@example.org")
+                builder.add(student, ADVISOR, builder.choice(professors))
+                builder.add(student, UNDERGRADUATE_DEGREE_FROM, builder.choice(universities))
+                for course in builder.sample(courses, 2):
+                    builder.add(student, TAKES_COURSE, course)
+
+            for s in range(10):
+                student = UNIV.term(f"University{u}/Department{d}/UndergraduateStudent{s}")
+                builder.add_type(student, UNDERGRADUATE_STUDENT)
+                builder.add(student, MEMBER_OF, department)
+                builder.add_literal(student, NAME, f"Student {s}.{d}.{u}")
+                for course in builder.sample(courses, 2):
+                    builder.add(student, TAKES_COURSE, course)
+                if builder.chance(0.3):
+                    builder.add(student, ADVISOR, builder.choice(professors))
+
+            for pub in range(5):
+                publication = UNIV.term(f"University{u}/Department{d}/Publication{pub}")
+                builder.add_type(publication, PUBLICATION)
+                builder.add_literal(publication, NAME, f"Publication {pub}.{d}.{u}")
+                authors = builder.sample(all_professors, 2) if len(all_professors) > 1 else professors[:1]
+                for author in authors:
+                    builder.add(publication, PUBLICATION_AUTHOR, author)
+    return builder.graph
+
+
+def dataset_info(graph: RDFGraph, scale: int) -> DatasetInfo:
+    """Summary row used by the benchmark harness."""
+    stats = graph.stats()
+    return DatasetInfo("LUBM", scale, stats["triples"], stats["vertices"], stats["predicates"])
+
+
+#: Query shape classes as the paper's evaluation uses them.
+STAR_QUERIES = ("LQ2", "LQ4", "LQ5")
+COMPLEX_QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
+
+
+def queries() -> Dict[str, SelectQuery]:
+    """The seven LUBM benchmark queries (LQ1-LQ7)."""
+    prefix = f"PREFIX ub: <{UB.base}> PREFIX u: <{UNIV.base}> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    texts = {
+        # LQ1 — complex, unselective: the advisor/course triangle generates
+        # many intermediate results across fragments.
+        "LQ1": """
+            SELECT ?student ?professor ?course WHERE {
+                ?student ub:advisor ?professor .
+                ?professor ub:teacherOf ?course .
+                ?student ub:takesCourse ?course .
+            }
+        """,
+        # LQ2 — star, unselective: everything about graduate students.
+        "LQ2": """
+            SELECT ?student ?department ?university WHERE {
+                ?student rdf:type ub:GraduateStudent .
+                ?student ub:memberOf ?department .
+                ?student ub:undergraduateDegreeFrom ?university .
+                ?student ub:emailAddress ?email .
+            }
+        """,
+        # LQ3 — complex, unselective, empty answer: lecturers never author
+        # publications in the generator, so the join yields nothing.
+        "LQ3": """
+            SELECT ?lecturer ?publication ?title WHERE {
+                ?lecturer rdf:type ub:Lecturer .
+                ?publication ub:publicationAuthor ?lecturer .
+                ?publication ub:name ?title .
+                ?lecturer ub:worksFor ?department .
+            }
+        """,
+        # LQ4 — star, selective: one department's professors and their details.
+        "LQ4": f"""
+            SELECT ?professor ?name ?email WHERE {{
+                ?professor ub:worksFor <{UNIV.base}University0/Department0> .
+                ?professor ub:name ?name .
+                ?professor ub:emailAddress ?email .
+                ?professor ub:telephone ?phone .
+            }}
+        """,
+        # LQ5 — star, selective: members of one department.
+        "LQ5": f"""
+            SELECT ?member WHERE {{
+                ?member ub:memberOf <{UNIV.base}University0/Department1> .
+                ?member rdf:type ub:UndergraduateStudent .
+            }}
+        """,
+        # LQ6 — complex, selective: students of a fixed university who also
+        # got their undergraduate degree there.
+        "LQ6": f"""
+            SELECT ?student ?department WHERE {{
+                ?student ub:memberOf ?department .
+                ?department ub:subOrganizationOf <{UNIV.base}University0> .
+                ?student ub:undergraduateDegreeFrom <{UNIV.base}University0> .
+            }}
+        """,
+        # LQ7 — complex, unselective, the largest join in the workload.
+        "LQ7": """
+            SELECT ?professor ?student ?course ?department WHERE {
+                ?professor ub:teacherOf ?course .
+                ?student ub:takesCourse ?course .
+                ?student ub:advisor ?professor .
+                ?professor ub:worksFor ?department .
+                ?student ub:memberOf ?department .
+            }
+        """,
+    }
+    return {name: parse_query(prefix + text) for name, text in texts.items()}

@@ -1,0 +1,81 @@
+"""Dataset and query registry used by the benchmark harness and examples.
+
+The paper's evaluation runs a fixed workload: LUBM at three scales with
+queries LQ1-LQ7, YAGO2 with YQ1-YQ4, and BTC with BQ1-BQ7.  This module maps
+dataset names to their generators, query sets and shape metadata so the
+benchmark code can iterate over "every table row" generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import SelectQuery
+from ..sparql.query_graph import QueryGraph
+from . import btc, lubm, yago
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything the harness needs to know about one benchmark dataset."""
+
+    name: str
+    generate: Callable[..., RDFGraph]
+    queries: Callable[[], Dict[str, SelectQuery]]
+    star_queries: Tuple[str, ...]
+    complex_queries: Tuple[str, ...]
+    #: Scale used by the per-stage tables and the comparison figure.
+    default_scale: int = 1
+
+    def query_names(self) -> Tuple[str, ...]:
+        return tuple(self.queries().keys())
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "LUBM": DatasetSpec(
+        name="LUBM",
+        generate=lubm.generate,
+        queries=lubm.queries,
+        star_queries=lubm.STAR_QUERIES,
+        complex_queries=lubm.COMPLEX_QUERIES,
+        default_scale=1,
+    ),
+    "YAGO2": DatasetSpec(
+        name="YAGO2",
+        generate=yago.generate,
+        queries=yago.queries,
+        star_queries=yago.STAR_QUERIES,
+        complex_queries=yago.COMPLEX_QUERIES,
+        default_scale=1,
+    ),
+    "BTC": DatasetSpec(
+        name="BTC",
+        generate=btc.generate,
+        queries=btc.queries,
+        star_queries=btc.STAR_QUERIES,
+        complex_queries=btc.COMPLEX_QUERIES,
+        default_scale=1,
+    ),
+}
+
+#: The LUBM scales standing in for the paper's 100M / 500M / 1B instances.
+LUBM_SCALES: Dict[str, int] = {"100M": 1, "500M": 3, "1B": 6}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look a dataset spec up by name (``LUBM``, ``YAGO2`` or ``BTC``)."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[name]
+
+
+def query_shape(query: SelectQuery) -> str:
+    """Convenience wrapper: the shape class of a query (star/path/tree/cycle/complex)."""
+    return QueryGraph(query.bgp).classify_shape()
+
+
+def all_benchmark_queries() -> Dict[str, Dict[str, SelectQuery]]:
+    """Every benchmark query of every dataset, keyed by dataset then query name."""
+    return {name: spec.queries() for name, spec in DATASETS.items()}

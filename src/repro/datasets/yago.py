@@ -1,0 +1,190 @@
+"""YAGO2-like synthetic dataset and the YQ1-YQ4 benchmark queries.
+
+YAGO2 is a real-world knowledge base extracted from Wikipedia (people,
+places, organizations, creative works and the relations between them).  This
+generator produces a scaled-down graph with the same relational flavour:
+people born in and living in cities, cities located in countries, actors in
+films, scientists winning prizes and graduating from universities, and
+marriages between people.  Literal labels are attached to most entities.
+
+The four benchmark queries mirror the shape/selectivity mix of the paper's
+YAGO2 workload:
+
+* YQ1 — selective complex query (anchored at one prize),
+* YQ2 — selective complex query with an empty answer,
+* YQ3 — unselective complex query with a very large number of results (the
+  dominant cost in the paper's Table II),
+* YQ4 — selective medium query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rdf.graph import RDFGraph
+from ..rdf.namespaces import Namespace, NamespaceManager
+from ..rdf.terms import IRI
+from ..sparql.algebra import SelectQuery
+from ..sparql.parser import parse_query
+from .generator_utils import DatasetInfo, GraphBuilder
+
+YAGO = Namespace("http://example.org/yago/")
+YAGO_ONT = Namespace("http://example.org/yago-ontology#")
+
+YAGO_NAMESPACES = NamespaceManager({"y": YAGO.base, "yo": YAGO_ONT.base})
+
+# Classes.
+PERSON = YAGO_ONT.term("Person")
+ACTOR = YAGO_ONT.term("Actor")
+SCIENTIST = YAGO_ONT.term("Scientist")
+CITY = YAGO_ONT.term("City")
+COUNTRY = YAGO_ONT.term("Country")
+MOVIE = YAGO_ONT.term("Movie")
+PRIZE = YAGO_ONT.term("Prize")
+UNIVERSITY = YAGO_ONT.term("University")
+
+# Properties.
+WAS_BORN_IN = YAGO_ONT.term("wasBornIn")
+LIVES_IN = YAGO_ONT.term("livesIn")
+IS_LOCATED_IN = YAGO_ONT.term("isLocatedIn")
+ACTED_IN = YAGO_ONT.term("actedIn")
+DIRECTED = YAGO_ONT.term("directed")
+HAS_WON_PRIZE = YAGO_ONT.term("hasWonPrize")
+IS_MARRIED_TO = YAGO_ONT.term("isMarriedTo")
+GRADUATED_FROM = YAGO_ONT.term("graduatedFrom")
+HAS_CAPITAL = YAGO_ONT.term("hasCapital")
+LABEL = YAGO_ONT.term("label")
+INFLUENCES = YAGO_ONT.term("influences")
+
+
+def generate(scale: int = 1, seed: int = 11) -> RDFGraph:
+    """Generate a YAGO2-like RDF graph (deterministic per ``(scale, seed)``)."""
+    builder = GraphBuilder("YAGO2", seed)
+    num_countries = max(2, 2 * scale)
+    cities_per_country = 4
+    people_per_city = 12
+    movies = max(6, 6 * scale)
+    prizes = 4
+    universities = max(3, 3 * scale)
+
+    countries: List[IRI] = []
+    cities: List[IRI] = []
+    for c in range(num_countries):
+        country = YAGO.term(f"Country{c}")
+        countries.append(country)
+        builder.add_type(country, COUNTRY)
+        builder.add_literal(country, LABEL, f"Country {c}", language="en")
+        for k in range(cities_per_country):
+            city = YAGO.term(f"City{c}_{k}")
+            cities.append(city)
+            builder.add_type(city, CITY)
+            builder.add(city, IS_LOCATED_IN, country)
+            builder.add_literal(city, LABEL, f"City {c}.{k}", language="en")
+            if k == 0:
+                builder.add(country, HAS_CAPITAL, city)
+
+    prize_entities = []
+    for p in range(prizes):
+        prize = YAGO.term(f"Prize{p}")
+        prize_entities.append(prize)
+        builder.add_type(prize, PRIZE)
+        builder.add_literal(prize, LABEL, f"Prize {p}", language="en")
+
+    university_entities = []
+    for u in range(universities):
+        university = YAGO.term(f"University{u}")
+        university_entities.append(university)
+        builder.add_type(university, UNIVERSITY)
+        builder.add(university, IS_LOCATED_IN, builder.choice(cities))
+        builder.add_literal(university, LABEL, f"University {u}", language="en")
+
+    movie_entities = []
+    for m in range(movies):
+        movie = YAGO.term(f"Movie{m}")
+        movie_entities.append(movie)
+        builder.add_type(movie, MOVIE)
+        builder.add_literal(movie, LABEL, f"Movie {m}", language="en")
+
+    people: List[IRI] = []
+    for index, city in enumerate(cities):
+        for p in range(people_per_city):
+            person = YAGO.term(f"Person{index}_{p}")
+            people.append(person)
+            builder.add_type(person, PERSON)
+            builder.add_literal(person, LABEL, f"Person {index}.{p}", language="en")
+            builder.add(person, WAS_BORN_IN, city)
+            builder.add(person, LIVES_IN, builder.choice(cities))
+            if p % 3 == 0:
+                builder.add_type(person, ACTOR)
+                for movie in builder.sample(movie_entities, 2):
+                    builder.add(person, ACTED_IN, movie)
+            if p % 4 == 0:
+                builder.add_type(person, SCIENTIST)
+                builder.add(person, GRADUATED_FROM, builder.choice(university_entities))
+                if builder.chance(0.5):
+                    builder.add(person, HAS_WON_PRIZE, builder.choice(prize_entities))
+            if p % 5 == 0 and people:
+                builder.add(person, IS_MARRIED_TO, builder.choice(people))
+            if builder.chance(0.2) and people:
+                builder.add(person, INFLUENCES, builder.choice(people))
+    # A handful of directors so YQ2 has patterns that parse but never join.
+    for m, movie in enumerate(movie_entities):
+        if m % 2 == 0:
+            builder.add(builder.choice(people), DIRECTED, movie)
+    return builder.graph
+
+
+def dataset_info(graph: RDFGraph, scale: int) -> DatasetInfo:
+    stats = graph.stats()
+    return DatasetInfo("YAGO2", scale, stats["triples"], stats["vertices"], stats["predicates"])
+
+
+STAR_QUERIES: tuple = ()
+COMPLEX_QUERIES = ("YQ1", "YQ2", "YQ3", "YQ4")
+
+
+def queries() -> Dict[str, SelectQuery]:
+    """The four YAGO2 benchmark queries (YQ1-YQ4)."""
+    prefix = (
+        f"PREFIX y: <{YAGO.base}> PREFIX yo: <{YAGO_ONT.base}> "
+        "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    )
+    texts = {
+        # YQ1 — selective complex: winners of Prize0, where they graduated
+        # and where that university is located.
+        "YQ1": """
+            SELECT ?scientist ?university ?city WHERE {
+                ?scientist yo:hasWonPrize y:Prize0 .
+                ?scientist yo:graduatedFrom ?university .
+                ?university yo:isLocatedIn ?city .
+            }
+        """,
+        # YQ2 — selective complex, empty answer: prizes are never located
+        # anywhere, so the final pattern can never join.
+        "YQ2": """
+            SELECT ?scientist ?prize WHERE {
+                ?scientist yo:hasWonPrize ?prize .
+                ?prize yo:isLocatedIn y:Country0 .
+                ?scientist yo:wasBornIn ?city .
+            }
+        """,
+        # YQ3 — unselective complex: the born-in / lives-in / located-in
+        # join touches every person and produces the largest result set.
+        "YQ3": """
+            SELECT ?person ?bornCity ?homeCity ?country WHERE {
+                ?person yo:wasBornIn ?bornCity .
+                ?person yo:livesIn ?homeCity .
+                ?bornCity yo:isLocatedIn ?country .
+                ?homeCity yo:isLocatedIn ?country .
+            }
+        """,
+        # YQ4 — selective medium: actors born in the capital of Country0.
+        "YQ4": """
+            SELECT ?actor ?movie ?city WHERE {
+                y:Country0 yo:hasCapital ?city .
+                ?actor yo:wasBornIn ?city .
+                ?actor yo:actedIn ?movie .
+            }
+        """,
+    }
+    return {name: parse_query(prefix + text) for name, text in texts.items()}

@@ -1,0 +1,37 @@
+"""Distributed execution substrate: sites, message bus, cluster, statistics."""
+
+from .cluster import Cluster, build_cluster
+from .network import (
+    COORDINATOR,
+    GRAPH_BSP_PLATFORM,
+    MAPREDUCE_PLATFORM,
+    Message,
+    MessageBus,
+    NATIVE_PLATFORM,
+    NetworkModel,
+    PlatformModel,
+    SPARK_SQL_PLATFORM,
+    StageTimer,
+    estimate_size,
+)
+from .site import Site
+from .stats import QueryStatistics, StageStats
+
+__all__ = [
+    "COORDINATOR",
+    "Cluster",
+    "GRAPH_BSP_PLATFORM",
+    "MAPREDUCE_PLATFORM",
+    "Message",
+    "MessageBus",
+    "NATIVE_PLATFORM",
+    "NetworkModel",
+    "PlatformModel",
+    "QueryStatistics",
+    "SPARK_SQL_PLATFORM",
+    "Site",
+    "StageStats",
+    "StageTimer",
+    "build_cluster",
+    "estimate_size",
+]

@@ -1,0 +1,89 @@
+"""Cluster: the set of sites plus the coordinator-side bookkeeping.
+
+A :class:`Cluster` is built from a :class:`~repro.partition.PartitionedGraph`
+— one site per fragment — and owns the :class:`MessageBus` that every engine
+uses to account for data shipment.  The cluster itself is engine-agnostic:
+the gStoreD engine (``repro.core.engine``) and the baselines
+(``repro.baselines``) all execute on top of the same cluster object, so
+comparisons happen over identical data placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..partition.fragment import PartitionedGraph
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Node
+from .network import MessageBus, NetworkModel
+from .site import Site
+
+
+class Cluster:
+    """A simulated cluster hosting one partitioned RDF graph."""
+
+    def __init__(self, partitioned: PartitionedGraph, network: Optional[NetworkModel] = None) -> None:
+        self._partitioned = partitioned
+        self._sites: List[Site] = [Site(fragment.fragment_id, fragment) for fragment in partitioned]
+        self.bus = MessageBus()
+        #: Cost model used by every engine to convert shipped bytes into time.
+        self.network = network if network is not None else NetworkModel()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def partitioned_graph(self) -> PartitionedGraph:
+        return self._partitioned
+
+    @property
+    def graph(self) -> RDFGraph:
+        """The full RDF graph (only used by ground-truth checks and baselines
+        that replicate the whole dataset, such as DREAM)."""
+        return self._partitioned.graph
+
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self._sites)
+
+    @property
+    def site_ids(self) -> List[int]:
+        return [site.site_id for site in self._sites]
+
+    def site(self, site_id: int) -> Site:
+        return self._sites[site_id]
+
+    def __iter__(self) -> Iterator[Site]:
+        return iter(self._sites)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def site_of_vertex(self, vertex: Node) -> Site:
+        """The site whose fragment owns ``vertex`` as an internal vertex."""
+        return self._sites[self._partitioned.fragment_of(vertex)]
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def reset_network(self) -> None:
+        """Clear message accounting between benchmark runs."""
+        self.bus.reset()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "sites": self.num_sites,
+            **self._partitioned.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Cluster sites={self.num_sites} strategy={self._partitioned.strategy!r}>"
+
+
+def build_cluster(partitioned: PartitionedGraph) -> Cluster:
+    """Convenience constructor mirroring ``build_partitioned_graph``."""
+    return Cluster(partitioned)

@@ -1,0 +1,82 @@
+"""A site of the simulated cluster.
+
+Each site hosts exactly one fragment (the paper's simplifying assumption) and
+runs a local :class:`~repro.store.TripleStore` over it.  Sites expose the
+local operations the engines need — candidate computation, local BGP
+evaluation — but they never look at other fragments: any cross-site
+information must arrive through the message bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..partition.fragment import Fragment
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Node, PatternTerm
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import ResultSet
+from ..sparql.query_graph import QueryGraph
+from ..store.triple_store import TripleStore
+
+
+class Site:
+    """One machine of the simulated cluster, hosting one fragment."""
+
+    def __init__(self, site_id: int, fragment: Fragment) -> None:
+        self.site_id = site_id
+        self.fragment = fragment
+        self.store = TripleStore(fragment.to_graph(), name=fragment.name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"S{self.site_id}"
+
+    @property
+    def graph(self) -> RDFGraph:
+        return self.store.graph
+
+    @property
+    def internal_vertices(self) -> Set[Node]:
+        return self.fragment.internal_vertices
+
+    @property
+    def extended_vertices(self) -> Set[Node]:
+        return self.fragment.extended_vertices
+
+    def is_internal(self, vertex: Node) -> bool:
+        return self.fragment.is_internal(vertex)
+
+    # ------------------------------------------------------------------
+    # Local operations used by the engines
+    # ------------------------------------------------------------------
+    def local_evaluate(self, query: SelectQuery) -> ResultSet:
+        """Evaluate ``query`` entirely inside this fragment.
+
+        Used for star queries (whose results are always contained in one
+        fragment because crossing edges are replicated) and by several
+        baselines.
+        """
+        return self.store.evaluate(query)
+
+    def internal_candidates(self, query: QueryGraph) -> Dict[PatternTerm, Set[Node]]:
+        """Internal candidates ``C(Q, v)`` of every query vertex (Section VI).
+
+        For an internal vertex every incident query edge must be locally
+        supported (all its data edges are present in the fragment); edges are
+        never relaxed here.
+        """
+        return self.store.candidates(query, restrict_to=self.fragment.internal_vertices)
+
+    def local_matches(self, query: QueryGraph):
+        """Complete (fragment-local) matches of ``query`` inside this fragment."""
+        return self.store.find_matches(query)
+
+    def stats(self) -> Dict[str, int]:
+        return self.fragment.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Site {self.name} fragment={self.fragment.name} triples={len(self.store)}>"

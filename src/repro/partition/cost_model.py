@@ -1,0 +1,132 @@
+"""Partitioning cost model (Section VII of the paper).
+
+The number of LEC features — and therefore the cost of the whole framework —
+depends on how crossing edges are distributed over boundary vertices, not
+just on how many crossing edges there are.  Section VII derives a cost for a
+given partitioning F = {F1, ..., Fk}:
+
+* the *distribution* of crossing edges over a vertex v is
+  ``p_F(v) = |N(v) ∩ Ec| / (2 |Ec|)``,
+* the *expected* number of crossing edges attached to v is
+  ``E_F(v) = |N(v) ∩ Ec| * p_F(v)``,
+* the total expectation is ``E_F(V) = Σ_v E_F(v)``, which is small when the
+  crossing edges are scattered over many boundary vertices, and
+* the partitioning cost combines concentration and balance:
+  ``Cost(F) = E_F(V) * max_i |E_i ∪ Ec_i|``.
+
+Among a set of existing partitionings, the paper selects the one with the
+smallest cost.  This module computes all of the above and also reproduces the
+Fig. 8 star-query LEC-feature counting example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Node
+from .fragment import PartitionedGraph
+
+
+@dataclass(frozen=True)
+class PartitioningCost:
+    """The components of the Section VII cost for one partitioning."""
+
+    strategy: str
+    num_crossing_edges: int
+    expectation: float
+    largest_fragment_edges: int
+    cost: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "crossing_edges": self.num_crossing_edges,
+            "expectation": self.expectation,
+            "largest_fragment_edges": self.largest_fragment_edges,
+            "cost": self.cost,
+        }
+
+
+def crossing_edge_distribution(partitioned: PartitionedGraph) -> Dict[Node, float]:
+    """``p_F(v)`` for every vertex adjacent to at least one crossing edge."""
+    crossing = partitioned.crossing_edges
+    total = len(crossing)
+    if total == 0:
+        return {}
+    counts: Dict[Node, int] = {}
+    for edge in crossing:
+        counts[edge.subject] = counts.get(edge.subject, 0) + 1
+        counts[edge.object] = counts.get(edge.object, 0) + 1
+    return {vertex: count / (2.0 * total) for vertex, count in counts.items()}
+
+
+def crossing_edge_expectation(partitioned: PartitionedGraph) -> float:
+    """``E_F(V) = Σ_v |N(v) ∩ Ec| * p_F(v)``.
+
+    Low values mean the crossing edges are scattered over many boundary
+    vertices (good for this framework); high values mean they concentrate on
+    a few hub vertices (bad: many LEC features share the same boundary
+    vertex, inflating the join space).
+    """
+    crossing = partitioned.crossing_edges
+    total = len(crossing)
+    if total == 0:
+        return 0.0
+    counts: Dict[Node, int] = {}
+    for edge in crossing:
+        counts[edge.subject] = counts.get(edge.subject, 0) + 1
+        counts[edge.object] = counts.get(edge.object, 0) + 1
+    return sum(count * (count / (2.0 * total)) for count in counts.values())
+
+
+def largest_fragment_size(partitioned: PartitionedGraph) -> int:
+    """``max_i |E_i ∪ Ec_i|`` — the edge count of the largest fragment."""
+    return max((fragment.num_edges for fragment in partitioned), default=0)
+
+
+def partitioning_cost(partitioned: PartitionedGraph) -> PartitioningCost:
+    """The full Section VII cost of one partitioning."""
+    expectation = crossing_edge_expectation(partitioned)
+    largest = largest_fragment_size(partitioned)
+    return PartitioningCost(
+        strategy=partitioned.strategy,
+        num_crossing_edges=len(partitioned.crossing_edges),
+        expectation=expectation,
+        largest_fragment_edges=largest,
+        cost=expectation * largest,
+    )
+
+
+def select_best_partitioning(candidates: Sequence[PartitionedGraph]) -> Tuple[PartitionedGraph, PartitioningCost]:
+    """Pick the candidate partitioning with the smallest Section VII cost."""
+    if not candidates:
+        raise ValueError("no candidate partitionings given")
+    scored = [(partitioning_cost(candidate), candidate) for candidate in candidates]
+    best_cost, best = min(scored, key=lambda item: item[0].cost)
+    return best, best_cost
+
+
+def compare_partitionings(candidates: Sequence[PartitionedGraph]) -> List[PartitioningCost]:
+    """Cost rows for every candidate (the shape of the paper's Table IV)."""
+    return [partitioning_cost(candidate) for candidate in candidates]
+
+
+def star_query_lec_feature_count(boundary_degrees: Iterable[int], star_edges: int) -> int:
+    """Number of LEC features a star query induces for given boundary degrees.
+
+    Reproduces the Fig. 8 analysis: for a star query with ``star_edges``
+    edges and a boundary vertex with ``d`` adjacent crossing edges, the
+    crossing edges can cover 1..min(d, star_edges) of the query edges, giving
+    ``Σ_j C(d, j)`` LEC features per boundary vertex; the partitioning total
+    is the sum over boundary vertices.  In Fig. 8(a) a single boundary vertex
+    with 4 crossing edges and a 2-edge star gives C(4,2)+C(4,1)=10, while in
+    Fig. 8(b) two boundary vertices with 3 and 2 crossing edges give
+    C(3,2)+C(3,1)+C(2,2)+C(2,1)=9.
+    """
+    total = 0
+    for degree in boundary_degrees:
+        for used in range(1, min(degree, star_edges) + 1):
+            total += math.comb(degree, used)
+    return total

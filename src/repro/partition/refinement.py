@@ -1,0 +1,149 @@
+"""Cost-guided partitioning refinement (an extension of Section VII).
+
+The paper stops at *selecting* the best partitioning among those that already
+exist ("a more sophisticated partitioning strategy is beyond the scope of
+this study").  This module implements the natural next step the cost model
+suggests: a local-search refinement that moves boundary vertices between
+fragments whenever doing so lowers ``CostPartitioning`` — i.e. it scatters
+concentrated crossing edges and keeps fragments balanced — while preserving
+the vertex-disjoint invariants of Definition 1.
+
+The refinement is deliberately conservative: only vertices adjacent to a
+crossing edge are candidates for a move, the balance constraint bounds the
+largest fragment, and a pass budget bounds the work.  It is an *extension*
+beyond the paper, reported separately in the ablation benchmark
+(``benchmarks/bench_ablation_refinement.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Node
+from .cost_model import partitioning_cost
+from .fragment import PartitionedGraph, build_partitioned_graph
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """What a refinement run did and what it achieved."""
+
+    passes: int
+    moves: int
+    initial_cost: float
+    final_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction in [0, 1] (0 when nothing improved)."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.final_cost / self.initial_cost)
+
+
+def _boundary_vertices(partitioned: PartitionedGraph) -> Set[Node]:
+    """Vertices adjacent to at least one crossing edge (move candidates)."""
+    boundary: Set[Node] = set()
+    for edge in partitioned.crossing_edges:
+        boundary.add(edge.subject)
+        boundary.add(edge.object)
+    return boundary
+
+
+def _neighbour_fragments(
+    graph: RDFGraph, assignment: Dict[Node, int], vertex: Node
+) -> Set[int]:
+    return {assignment[neighbour] for neighbour in graph.neighbours(vertex)}
+
+
+def refine_partitioning(
+    partitioned: PartitionedGraph,
+    max_passes: int = 3,
+    balance_factor: float = 1.25,
+    strategy_suffix: str = "+refined",
+) -> Tuple[PartitionedGraph, RefinementReport]:
+    """Refine ``partitioned`` by cost-guided boundary-vertex moves.
+
+    Parameters
+    ----------
+    partitioned:
+        The starting partitioning (left untouched; a new one is returned).
+    max_passes:
+        Maximum number of sweeps over the boundary vertices.
+    balance_factor:
+        No fragment may grow beyond ``balance_factor * |V| / k`` internal
+        vertices, which keeps the ``max |E_i ∪ Ec_i|`` factor of the cost
+        model under control.
+    strategy_suffix:
+        Appended to the original strategy name in the refined partitioning.
+
+    Returns
+    -------
+    (refined, report):
+        The refined :class:`PartitionedGraph` and a :class:`RefinementReport`.
+    """
+    graph = partitioned.graph
+    num_fragments = partitioned.num_fragments
+    assignment = partitioned.assignment
+    initial_cost = partitioning_cost(partitioned).cost
+    if not partitioned.crossing_edges or num_fragments < 2:
+        report = RefinementReport(0, 0, initial_cost, initial_cost)
+        return partitioned, report
+
+    max_fragment_size = int(balance_factor * len(graph.vertices) / num_fragments) + 1
+    fragment_sizes = [0] * num_fragments
+    for fragment_id in assignment.values():
+        fragment_sizes[fragment_id] += 1
+
+    current = partitioned
+    current_cost = initial_cost
+    total_moves = 0
+    passes_done = 0
+
+    for _ in range(max_passes):
+        passes_done += 1
+        moved_this_pass = 0
+        for vertex in sorted(_boundary_vertices(current), key=lambda v: v.n3()):
+            source = assignment[vertex]
+            for target in sorted(_neighbour_fragments(graph, assignment, vertex)):
+                if target == source:
+                    continue
+                if fragment_sizes[target] + 1 > max_fragment_size:
+                    continue
+                assignment[vertex] = target
+                candidate = build_partitioned_graph(
+                    graph,
+                    assignment,
+                    num_fragments=num_fragments,
+                    strategy=current.strategy,
+                    validate=False,
+                )
+                candidate_cost = partitioning_cost(candidate).cost
+                if candidate_cost < current_cost:
+                    current = candidate
+                    current_cost = candidate_cost
+                    fragment_sizes[source] -= 1
+                    fragment_sizes[target] += 1
+                    moved_this_pass += 1
+                    break
+                assignment[vertex] = source
+        total_moves += moved_this_pass
+        if moved_this_pass == 0:
+            break
+
+    refined = build_partitioned_graph(
+        graph,
+        assignment,
+        num_fragments=num_fragments,
+        strategy=partitioned.strategy + strategy_suffix if total_moves else partitioned.strategy,
+        validate=True,
+    )
+    report = RefinementReport(
+        passes=passes_done,
+        moves=total_moves,
+        initial_cost=initial_cost,
+        final_cost=partitioning_cost(refined).cost,
+    )
+    return refined, report

@@ -1,0 +1,68 @@
+"""RDF data model substrate: terms, triples, graphs, namespaces, N-Triples I/O."""
+
+from .graph import RDFGraph
+from .namespaces import (
+    DBPEDIA_NS,
+    DBPEDIA_ONT_NS,
+    FOAF_NS,
+    Namespace,
+    NamespaceManager,
+    RDF_NS,
+    RDF_TYPE,
+    RDFS_NS,
+    UB_NS,
+    XSD_NS,
+    YAGO_NS,
+)
+from .ntriples import (
+    NTriplesParseError,
+    dump,
+    load,
+    parse_line,
+    parse_string,
+    parse_term,
+    serialize,
+)
+from .terms import (
+    BlankNode,
+    IRI,
+    Literal,
+    Node,
+    PatternTerm,
+    Term,
+    Variable,
+    is_concrete,
+)
+from .triples import Triple, TriplePattern
+
+__all__ = [
+    "BlankNode",
+    "DBPEDIA_NS",
+    "DBPEDIA_ONT_NS",
+    "FOAF_NS",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "Node",
+    "NTriplesParseError",
+    "PatternTerm",
+    "RDFGraph",
+    "RDF_NS",
+    "RDF_TYPE",
+    "RDFS_NS",
+    "Term",
+    "Triple",
+    "TriplePattern",
+    "UB_NS",
+    "Variable",
+    "XSD_NS",
+    "YAGO_NS",
+    "dump",
+    "is_concrete",
+    "load",
+    "parse_line",
+    "parse_string",
+    "parse_term",
+    "serialize",
+]

@@ -1,0 +1,113 @@
+"""Namespace helpers.
+
+A :class:`Namespace` builds IRIs from local names (``UB.Professor`` →
+``<http://.../univ-bench.owl#Professor>``), and a :class:`NamespaceManager`
+keeps prefix → namespace bindings for parsing and pretty-printing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import IRI
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix."""
+
+    def __init__(self, base: str) -> None:
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local_name: str) -> IRI:
+        """Return the IRI ``<base + local_name>``."""
+        return IRI(self._base + local_name)
+
+    def __getattr__(self, local_name: str) -> IRI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Namespace({self._base!r})"
+
+
+#: Namespaces used by the bundled dataset generators and examples.
+RDF_NS = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS_NS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF_NS = Namespace("http://xmlns.com/foaf/0.1/")
+DBPEDIA_NS = Namespace("http://dbpedia.org/resource/")
+DBPEDIA_ONT_NS = Namespace("http://dbpedia.org/ontology/")
+UB_NS = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+YAGO_NS = Namespace("http://yago-knowledge.org/resource/")
+
+#: ``rdf:type``, used pervasively (and written ``a`` in SPARQL).
+RDF_TYPE = RDF_NS.term("type")
+
+
+class NamespaceManager:
+    """Prefix registry used by the SPARQL parser and serializers."""
+
+    def __init__(self, bindings: Optional[Dict[str, str]] = None) -> None:
+        self._prefixes: Dict[str, str] = {}
+        for prefix, base in (bindings or {}).items():
+            self.bind(prefix, base)
+
+    @classmethod
+    def with_defaults(cls) -> "NamespaceManager":
+        """A manager pre-loaded with the well-known prefixes of this repo."""
+        return cls(
+            {
+                "rdf": RDF_NS.base,
+                "rdfs": RDFS_NS.base,
+                "xsd": XSD_NS.base,
+                "foaf": FOAF_NS.base,
+                "dbo": DBPEDIA_ONT_NS.base,
+                "dbr": DBPEDIA_NS.base,
+                "ub": UB_NS.base,
+                "yago": YAGO_NS.base,
+            }
+        )
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register ``prefix`` → ``base`` (later bindings override earlier ones)."""
+        self._prefixes[prefix] = base
+
+    def resolve(self, prefixed_name: str) -> IRI:
+        """Expand a prefixed name such as ``foaf:name`` into an IRI."""
+        if ":" not in prefixed_name:
+            raise ValueError(f"not a prefixed name: {prefixed_name!r}")
+        prefix, local = prefixed_name.split(":", 1)
+        if prefix not in self._prefixes:
+            raise KeyError(f"unknown prefix: {prefix!r}")
+        return IRI(self._prefixes[prefix] + local)
+
+    def shrink(self, iri: IRI) -> str:
+        """Return a prefixed name for ``iri`` if a binding covers it, else ``<iri>``."""
+        best: Optional[Tuple[str, str]] = None
+        for prefix, base in self._prefixes.items():
+            if iri.value.startswith(base) and (best is None or len(base) > len(best[1])):
+                best = (prefix, base)
+        if best is None:
+            return iri.n3()
+        prefix, base = best
+        return f"{prefix}:{iri.value[len(base):]}"
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefixes
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._prefixes.items())
+
+    def __len__(self) -> int:
+        return len(self._prefixes)

@@ -1,0 +1,156 @@
+"""N-Triples parsing and serialization.
+
+N-Triples is the simplest line-based RDF syntax: one triple per line, terms
+written in full (``<iri>``, ``"literal"@lang``, ``"literal"^^<datatype>``,
+``_:blank``).  The dataset generators serialize to N-Triples and the loaders
+parse it back, which keeps round-trip tests simple and removes any dependency
+on external RDF libraries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .graph import RDFGraph
+from .terms import IRI, BlankNode, Literal, Node, unescape_literal
+from .triples import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = "") -> None:
+        location = f" (line {line_number})" if line_number else ""
+        super().__init__(f"{message}{location}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_term(text: str) -> Node:
+    """Parse a single N-Triples term (IRI, literal or blank node)."""
+    text = text.strip()
+    if not text:
+        raise NTriplesParseError("empty term")
+    if text.startswith("<") and text.endswith(">"):
+        return IRI(text[1:-1])
+    if text.startswith("_:"):
+        return BlankNode(text[2:])
+    if text.startswith('"'):
+        return _parse_literal(text)
+    raise NTriplesParseError(f"unrecognised term {text!r}")
+
+
+def _parse_literal(text: str) -> Literal:
+    closing = _find_closing_quote(text)
+    lexical = unescape_literal(text[1:closing])
+    suffix = text[closing + 1 :]
+    if not suffix:
+        return Literal(lexical)
+    if suffix.startswith("@"):
+        return Literal(lexical, language=suffix[1:])
+    if suffix.startswith("^^<") and suffix.endswith(">"):
+        return Literal(lexical, datatype=IRI(suffix[3:-1]))
+    raise NTriplesParseError(f"bad literal suffix {suffix!r}")
+
+
+def _find_closing_quote(text: str) -> int:
+    i = 1
+    while i < len(text):
+        if text[i] == "\\":
+            i += 2
+            continue
+        if text[i] == '"':
+            return i
+        i += 1
+    raise NTriplesParseError("unterminated literal")
+
+
+def _split_statement(line: str) -> List[str]:
+    """Split an N-Triples statement into its three term strings."""
+    terms: List[str] = []
+    i = 0
+    length = len(line)
+    while i < length and len(terms) < 3:
+        while i < length and line[i] in " \t":
+            i += 1
+        if i >= length:
+            break
+        start = i
+        if line[i] == "<":
+            i = line.index(">", i) + 1
+        elif line[i] == '"':
+            i = start + _find_closing_quote(line[start:]) + 1
+            # Consume language tag or datatype.
+            if i < length and line[i] == "@":
+                while i < length and line[i] not in " \t":
+                    i += 1
+            elif line.startswith("^^<", i):
+                i = line.index(">", i) + 1
+        else:
+            while i < length and line[i] not in " \t":
+                i += 1
+        terms.append(line[start:i])
+    return terms
+
+
+def parse_line(line: str, line_number: int = 0) -> Triple:
+    """Parse one N-Triples statement line into a :class:`Triple`."""
+    stripped = line.strip()
+    if not stripped.endswith("."):
+        raise NTriplesParseError("statement does not end with '.'", line_number, line)
+    body = stripped[:-1].rstrip()
+    parts = _split_statement(body)
+    if len(parts) != 3:
+        raise NTriplesParseError("statement does not have three terms", line_number, line)
+    subject = parse_term(parts[0])
+    predicate = parse_term(parts[1])
+    if not isinstance(predicate, IRI):
+        raise NTriplesParseError("predicate must be an IRI", line_number, line)
+    obj = parse_term(parts[2])
+    if isinstance(subject, Literal):
+        raise NTriplesParseError("subject must not be a literal", line_number, line)
+    return Triple(subject, predicate, obj)
+
+
+def parse_lines(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse an iterable of text lines, skipping blanks and ``#`` comments."""
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_line(stripped, line_number)
+
+
+def parse_string(text: str) -> RDFGraph:
+    """Parse an N-Triples document given as a string into an :class:`RDFGraph`."""
+    return RDFGraph(parse_lines(text.splitlines()))
+
+
+def load(source: Union[str, Path, TextIO], name: str = "") -> RDFGraph:
+    """Load an N-Triples file (path or open text handle) into a graph."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            graph = RDFGraph(parse_lines(handle), name=name or str(source))
+        return graph
+    return RDFGraph(parse_lines(source), name=name)
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples into an N-Triples document (sorted for determinism)."""
+    lines = sorted(triple.n3() for triple in triples)
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def dump(triples: Iterable[Triple], destination: Union[str, Path, TextIO]) -> int:
+    """Write ``triples`` to ``destination`` in N-Triples; return the triple count."""
+    text = serialize(triples)
+    count = text.count("\n")
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return count

@@ -1,0 +1,88 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is a concrete RDF statement; a :class:`TriplePattern` is a
+triple where any position may be a SPARQL variable.  Both are immutable and
+hashable so they can live inside set-based indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .terms import IRI, Node, PatternTerm, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A concrete RDF triple ``(subject, predicate, object)``."""
+
+    subject: Node
+    predicate: IRI
+    object: Node
+
+    def n3(self) -> str:
+        """N-Triples serialization of the triple (without trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def as_tuple(self) -> Tuple[Node, IRI, Node]:
+        return (self.subject, self.predicate, self.object)
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern: any position may be a variable.
+
+    Triple patterns are the building blocks of SPARQL basic graph patterns
+    (BGPs).  The predicate may also be a variable (variable edge label in the
+    query graph of Definition 2).
+    """
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self) -> Iterator[PatternTerm]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All distinct variables of the pattern, in subject/predicate/object order."""
+        seen = []
+        for term in self:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    @property
+    def is_concrete(self) -> bool:
+        """``True`` when no position is a variable."""
+        return not any(isinstance(term, Variable) for term in self)
+
+    def matches(self, triple: Triple) -> bool:
+        """Check whether ``triple`` matches this pattern position-by-position.
+
+        Variables match anything; concrete terms must be equal.
+        """
+        pairs = zip(self, triple)
+        return all(isinstance(pattern, Variable) or pattern == data for pattern, data in pairs)
+
+    def bind(self, bindings: dict) -> "TriplePattern":
+        """Substitute variables that appear in ``bindings`` with their values."""
+
+        def resolve(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Variable) and term in bindings:
+                return bindings[term]
+            return term
+
+        return TriplePattern(resolve(self.subject), resolve(self.predicate), resolve(self.object))

@@ -1,0 +1,25 @@
+"""SPARQL BGP front end: tokenizer, parser, algebra, query graph, bindings."""
+
+from .algebra import BasicGraphPattern, SelectQuery, bgp_from_patterns
+from .bindings import Binding, ResultSet
+from .parser import format_query, parse_bgp, parse_query
+from .query_graph import QueryEdge, QueryGraph, traversal_order
+from .tokenizer import SparqlSyntaxError, Token, TokenType, tokenize
+
+__all__ = [
+    "BasicGraphPattern",
+    "Binding",
+    "QueryEdge",
+    "QueryGraph",
+    "ResultSet",
+    "SelectQuery",
+    "SparqlSyntaxError",
+    "Token",
+    "TokenType",
+    "bgp_from_patterns",
+    "format_query",
+    "parse_bgp",
+    "parse_query",
+    "tokenize",
+    "traversal_order",
+]

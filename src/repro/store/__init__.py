@@ -1,0 +1,18 @@
+"""Local triple store substrate: signatures, candidates, matcher, store facade."""
+
+from .candidates import candidate_sizes, compute_candidates, edge_supported
+from .matcher import LocalMatcher, evaluate_centralized
+from .signatures import DEFAULT_SIGNATURE_BITS, SignatureIndex, VertexSignature
+from .triple_store import TripleStore
+
+__all__ = [
+    "DEFAULT_SIGNATURE_BITS",
+    "LocalMatcher",
+    "SignatureIndex",
+    "TripleStore",
+    "VertexSignature",
+    "candidate_sizes",
+    "compute_candidates",
+    "edge_supported",
+    "evaluate_centralized",
+]

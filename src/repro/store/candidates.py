@@ -1,0 +1,136 @@
+"""Per-variable candidate computation.
+
+Existing RDF stores (the paper names gStore's filter-and-evaluate design)
+first compute a candidate set for every query variable, then run subgraph
+matching over those candidates.  The candidate sets are also the raw
+material of the paper's third optimization (Section VI): each site computes
+the *internal* candidates of every variable, compresses them into a bit
+vector, and the coordinator ORs the vectors so sites can discard extended
+candidates that are internal nowhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
+from ..sparql.query_graph import QueryGraph
+from .signatures import SignatureIndex
+
+
+def edge_supported(
+    graph: RDFGraph,
+    vertex: Node,
+    query: QueryGraph,
+    query_vertex: PatternTerm,
+    edge_index: int,
+) -> bool:
+    """Does ``vertex`` have at least one incident data edge matching query edge ``edge_index``?
+
+    Only the direction and (constant) predicate are checked, plus the other
+    endpoint when it is a constant; the other endpoint being a variable means
+    any neighbour will do.
+    """
+    edge = query.edge_at(edge_index)
+    predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
+    if edge.subject == query_vertex:
+        other = edge.object
+        other_bound = None if isinstance(other, Variable) else other
+        return any(True for _ in graph.triples(vertex, predicate, other_bound))
+    if edge.object == query_vertex:
+        other = edge.subject
+        other_bound = None if isinstance(other, Variable) else other
+        return any(True for _ in graph.triples(other_bound, predicate, vertex))
+    raise ValueError("query vertex is not an endpoint of the given edge")
+
+
+def compute_candidates(
+    graph: RDFGraph,
+    query: QueryGraph,
+    signature_index: Optional[SignatureIndex] = None,
+    relaxed_edges: Optional[Dict[PatternTerm, Set[int]]] = None,
+    restrict_to: Optional[Set[Node]] = None,
+) -> Dict[PatternTerm, Set[Node]]:
+    """Compute a candidate set for every query vertex.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (a whole RDF graph, or one fragment's graph).
+    query:
+        The query graph.
+    signature_index:
+        Optional pre-built signature index over ``graph``; built on demand
+        when omitted.
+    relaxed_edges:
+        Per query vertex, indices of query edges whose support must *not* be
+        required.  Sites use this for extended vertices, whose edges inside
+        other fragments are invisible locally.
+    restrict_to:
+        Optional universe to intersect every candidate set with (e.g. only
+        internal vertices of a fragment).
+
+    Returns
+    -------
+    dict
+        Mapping each query vertex (constant vertices included) to the set of
+        data vertices that could match it based on local-only checks.
+    """
+    relaxed_edges = relaxed_edges or {}
+    index = signature_index or SignatureIndex(graph)
+    vertices_universe = graph.vertices
+    candidates: Dict[PatternTerm, Set[Node]] = {}
+    for query_vertex in query.vertices:
+        relaxed = relaxed_edges.get(query_vertex, set())
+        if isinstance(query_vertex, (IRI, Literal)):
+            found = {query_vertex} if query_vertex in vertices_universe else set()
+        else:
+            found = _variable_candidates(graph, query, query_vertex, index, relaxed)
+        if restrict_to is not None:
+            found &= restrict_to
+        candidates[query_vertex] = found
+    return candidates
+
+
+def _variable_candidates(
+    graph: RDFGraph,
+    query: QueryGraph,
+    query_vertex: PatternTerm,
+    index: SignatureIndex,
+    relaxed: Set[int],
+) -> Set[Node]:
+    required_edges = [edge for edge in query.edges_of(query_vertex) if edge.index not in relaxed]
+    if not required_edges:
+        # Every incident edge was relaxed: any vertex could match.
+        return set(graph.vertices)
+    # Seed with the most selective incident edge to avoid scanning all vertices.
+    seed: Optional[Set[Node]] = None
+    for edge in required_edges:
+        predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
+        if edge.subject == query_vertex:
+            other = edge.object
+            other_bound = None if isinstance(other, Variable) else other
+            matching = {t.subject for t in graph.triples(None, predicate, other_bound)}
+        else:
+            other = edge.subject
+            other_bound = None if isinstance(other, Variable) else other
+            matching = {t.object for t in graph.triples(other_bound, predicate, None)}
+        if seed is None or len(matching) < len(seed):
+            seed = matching
+        if seed is not None and not seed:
+            return set()
+    assert seed is not None
+    needed_signature = index.query_signature(query, query_vertex, skip_edges=relaxed)
+    survivors: Set[Node] = set()
+    for vertex in seed:
+        if not index.signature_of(vertex).covers(needed_signature):
+            continue
+        if all(edge_supported(graph, vertex, query, query_vertex, edge.index) for edge in required_edges):
+            survivors.add(vertex)
+    return survivors
+
+
+def candidate_sizes(candidates: Dict[PatternTerm, Set[Node]]) -> Dict[str, int]:
+    """Small helper used by statistics and logging."""
+    return {vertex.n3(): len(values) for vertex, values in candidates.items()}

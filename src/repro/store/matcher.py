@@ -1,0 +1,171 @@
+"""Centralized BGP matcher (subgraph homomorphism search).
+
+This is the "local evaluation inside one site" engine and also the
+ground-truth centralized evaluator used by the tests: finding all matches of
+a BGP query over an RDF graph is finding all subgraph homomorphisms from the
+query graph to the data graph (Definition 3).
+
+The matcher is a classic backtracking search over the query vertices in a
+connectivity-preserving order, with candidate filtering (signatures +
+per-edge support) done upfront.  Variables on predicates are supported.
+Distinct query vertices may map to the same data vertex (homomorphism, not
+isomorphism), matching SPARQL semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import IRI, Node, PatternTerm, Variable
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import Binding, ResultSet
+from ..sparql.query_graph import QueryEdge, QueryGraph, traversal_order
+from .candidates import compute_candidates
+from .signatures import SignatureIndex
+
+
+class LocalMatcher:
+    """Find all matches of BGP queries over a single in-memory RDF graph."""
+
+    def __init__(self, graph: RDFGraph, signature_index: Optional[SignatureIndex] = None) -> None:
+        self._graph = graph
+        self._signatures = signature_index or SignatureIndex(graph)
+
+    @property
+    def graph(self) -> RDFGraph:
+        return self._graph
+
+    @property
+    def signatures(self) -> SignatureIndex:
+        return self._signatures
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(self, query: SelectQuery) -> ResultSet:
+        """Evaluate a SELECT/ASK query and return its solutions.
+
+        Disconnected BGPs are evaluated one connected component at a time and
+        combined with a cross product, mirroring the paper's assumption that
+        connected components are considered separately.
+        """
+        components = query.bgp.connected_components()
+        if not components:
+            return ResultSet([], query.effective_projection)
+        partial: List[List[Dict[PatternTerm, Node]]] = []
+        for component in components:
+            graph = QueryGraph(component)
+            partial.append(list(self.find_matches(graph)))
+        combined = partial[0]
+        for extra in partial[1:]:
+            combined = [{**left, **right} for left in combined for right in extra]
+        bindings = [self._to_binding(assignment) for assignment in combined]
+        results = ResultSet(bindings, query.variables)
+        projected = results.project(query.effective_projection, distinct=query.distinct)
+        return projected.limit(query.limit)
+
+    def find_matches(self, query: QueryGraph) -> Iterator[Dict[PatternTerm, Node]]:
+        """Yield complete assignments (query vertex → data vertex) for ``query``."""
+        candidates = compute_candidates(self._graph, query, self._signatures)
+        if any(not candidates[vertex] for vertex in query.vertices):
+            return
+        order = traversal_order(query)
+        yield from self._extend({}, order, 0, query, candidates)
+
+    def count_matches(self, query: QueryGraph) -> int:
+        """Number of complete matches (used by benchmarks)."""
+        return sum(1 for _ in self.find_matches(query))
+
+    # ------------------------------------------------------------------
+    # Backtracking search
+    # ------------------------------------------------------------------
+    def _extend(
+        self,
+        assignment: Dict[PatternTerm, Node],
+        order: List[PatternTerm],
+        depth: int,
+        query: QueryGraph,
+        candidates: Dict[PatternTerm, Set[Node]],
+    ) -> Iterator[Dict[PatternTerm, Node]]:
+        if depth == len(order):
+            yield dict(assignment)
+            return
+        vertex = order[depth]
+        for candidate in self._ordered_candidates(vertex, assignment, query, candidates):
+            if not self._consistent(vertex, candidate, assignment, query):
+                continue
+            assignment[vertex] = candidate
+            yield from self._extend(assignment, order, depth + 1, query, candidates)
+            del assignment[vertex]
+
+    def _ordered_candidates(
+        self,
+        vertex: PatternTerm,
+        assignment: Dict[PatternTerm, Node],
+        query: QueryGraph,
+        candidates: Dict[PatternTerm, Set[Node]],
+    ) -> Iterator[Node]:
+        """Candidates for ``vertex``, narrowed by already-assigned neighbours.
+
+        When an adjacent query vertex is already assigned, the data graph's
+        adjacency restricts the viable candidates to the neighbours of that
+        assignment, which is usually a much smaller set than the global
+        candidate list.
+        """
+        pool = candidates[vertex]
+        narrowed: Optional[Set[Node]] = None
+        for edge in query.edges_of(vertex):
+            other = edge.other_endpoint(vertex) if vertex in edge.endpoints else None
+            if other is None or other not in assignment or other == vertex:
+                continue
+            other_value = assignment[other]
+            predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
+            if edge.subject == vertex:
+                reachable = {t.subject for t in self._graph.triples(None, predicate, other_value)}
+            else:
+                reachable = {t.object for t in self._graph.triples(other_value, predicate, None)}
+            narrowed = reachable if narrowed is None else narrowed & reachable
+            if not narrowed:
+                return iter(())
+        if narrowed is None:
+            return iter(pool)
+        return iter(narrowed & pool)
+
+    def _consistent(
+        self,
+        vertex: PatternTerm,
+        candidate: Node,
+        assignment: Dict[PatternTerm, Node],
+        query: QueryGraph,
+    ) -> bool:
+        """Check every query edge between ``vertex`` and already-assigned vertices."""
+        for edge in query.edges_of(vertex):
+            subject_value = candidate if edge.subject == vertex else assignment.get(edge.subject)
+            object_value = candidate if edge.object == vertex else assignment.get(edge.object)
+            if edge.subject == vertex and edge.object == vertex:
+                subject_value = object_value = candidate
+            if subject_value is None or object_value is None:
+                continue
+            if not self._edge_exists(subject_value, edge, object_value):
+                return False
+        return True
+
+    def _edge_exists(self, subject_value: Node, edge: QueryEdge, object_value: Node) -> bool:
+        if isinstance(edge.predicate, Variable):
+            return any(True for _ in self._graph.triples(subject_value, None, object_value))
+        if not isinstance(edge.predicate, IRI):
+            return False
+        return any(True for _ in self._graph.triples(subject_value, edge.predicate, object_value))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_binding(assignment: Dict[PatternTerm, Node]) -> Binding:
+        return Binding({vertex: value for vertex, value in assignment.items() if isinstance(vertex, Variable)})
+
+
+def evaluate_centralized(graph: RDFGraph, query: SelectQuery) -> ResultSet:
+    """One-shot convenience wrapper: evaluate ``query`` over ``graph`` centrally."""
+    return LocalMatcher(graph).evaluate(query)

@@ -1,0 +1,138 @@
+"""Vertex signatures for candidate filtering.
+
+gStore encodes the neighbourhood of every data vertex as a fixed-length
+bit-signature and filters candidate vertices for each query vertex by
+signature containment before running the expensive subgraph matching.  This
+module implements the same idea: a vertex's signature hashes its adjacent
+(predicate, direction) pairs — and, optionally, adjacent constant neighbour
+values — into a bitset, and a query vertex's signature (built only from the
+constant information around it) must be a subset of any matching data
+vertex's signature.
+
+The signature check is a *necessary* condition, never sufficient: the matcher
+always re-verifies real edges, so false positives cost time but never
+correctness.  False negatives cannot happen because exactly the same hash
+positions are set on the query side and the data side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
+from ..sparql.query_graph import QueryGraph
+
+#: Default signature width in bits.  Wide enough that collisions are rare on
+#: the bundled datasets, small enough to stay cheap to build and intersect.
+DEFAULT_SIGNATURE_BITS = 256
+
+
+def _hash_position(key: str, bits: int) -> int:
+    """Map ``key`` to a bit position deterministically (process-independent)."""
+    # A small FNV-1a so that signatures are stable across runs and platforms
+    # (Python's built-in hash() is randomized per process).
+    value = 0xCBF29CE484222325
+    for char in key.encode("utf-8"):
+        value ^= char
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value % bits
+
+
+@dataclass(frozen=True, slots=True)
+class VertexSignature:
+    """A bitset summarising a vertex's incident edges."""
+
+    bits: int
+    width: int = DEFAULT_SIGNATURE_BITS
+
+    def covers(self, other: "VertexSignature") -> bool:
+        """True when every bit set in ``other`` is also set in ``self``."""
+        return (self.bits & other.bits) == other.bits
+
+    def __or__(self, other: "VertexSignature") -> "VertexSignature":
+        return VertexSignature(self.bits | other.bits, self.width)
+
+    def popcount(self) -> int:
+        return bin(self.bits).count("1")
+
+
+class SignatureIndex:
+    """Pre-computed signatures for every vertex of a data graph."""
+
+    def __init__(self, graph: RDFGraph, width: int = DEFAULT_SIGNATURE_BITS) -> None:
+        self._width = width
+        self._graph = graph
+        self._signatures: dict[Node, VertexSignature] = {}
+        for vertex in graph.vertices:
+            self._signatures[vertex] = self._build_data_signature(vertex)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def signature_of(self, vertex: Node) -> VertexSignature:
+        """The signature of a data vertex (empty signature if unknown)."""
+        return self._signatures.get(vertex, VertexSignature(0, self._width))
+
+    def _build_data_signature(self, vertex: Node) -> VertexSignature:
+        bits = 0
+        for triple in self._graph.out_edges(vertex):
+            bits |= 1 << _hash_position(f"out|{triple.predicate.value}", self._width)
+            bits |= 1 << _hash_position(
+                f"out|{triple.predicate.value}|{triple.object.n3()}", self._width
+            )
+        for triple in self._graph.in_edges(vertex):
+            bits |= 1 << _hash_position(f"in|{triple.predicate.value}", self._width)
+            bits |= 1 << _hash_position(
+                f"in|{triple.predicate.value}|{triple.subject.n3()}", self._width
+            )
+        return VertexSignature(bits, self._width)
+
+    def query_signature(
+        self,
+        query: QueryGraph,
+        vertex: PatternTerm,
+        skip_edges: Optional[Iterable[int]] = None,
+    ) -> VertexSignature:
+        """Build the signature a data vertex must cover to match ``vertex``.
+
+        Only constant information contributes: variable predicates and
+        variable neighbours add no bits (they could match anything).  Edges
+        listed in ``skip_edges`` are ignored — per-site candidate computation
+        uses this to relax constraints on crossing edges whose other endpoint
+        lives in a different fragment.
+        """
+        skipped = set(skip_edges or ())
+        bits = 0
+        for edge in query.edges_of(vertex):
+            if edge.index in skipped:
+                continue
+            predicate = edge.predicate
+            if isinstance(predicate, Variable):
+                continue
+            if edge.subject == vertex:
+                bits |= 1 << _hash_position(f"out|{predicate.value}", self._width)
+                if not isinstance(edge.object, Variable):
+                    bits |= 1 << _hash_position(
+                        f"out|{predicate.value}|{edge.object.n3()}", self._width
+                    )
+            if edge.object == vertex:
+                bits |= 1 << _hash_position(f"in|{predicate.value}", self._width)
+                if not isinstance(edge.subject, Variable):
+                    bits |= 1 << _hash_position(
+                        f"in|{predicate.value}|{edge.subject.n3()}", self._width
+                    )
+        return VertexSignature(bits, self._width)
+
+    def candidates_by_signature(self, query: QueryGraph, vertex: PatternTerm) -> set[Node]:
+        """All data vertices whose signature covers the query vertex's signature."""
+        needed = self.query_signature(query, vertex)
+        if isinstance(vertex, (IRI, Literal)):
+            return {vertex} if vertex in self._signatures else set()
+        return {
+            data_vertex
+            for data_vertex, signature in self._signatures.items()
+            if signature.covers(needed)
+        }

@@ -1,0 +1,118 @@
+"""Local triple store facade ("gStore-lite").
+
+Each site of the simulated cluster hosts one :class:`TripleStore`, which
+bundles the fragment's RDF graph with its signature index, a matcher, and
+cached per-query candidate computations.  The centralized baseline uses the
+same class over the unpartitioned graph, so every engine in the repository
+shares one local-evaluation code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Node, PatternTerm
+from ..rdf.triples import Triple
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import ResultSet
+from ..sparql.query_graph import QueryGraph
+from .candidates import compute_candidates
+from .matcher import LocalMatcher
+from .signatures import DEFAULT_SIGNATURE_BITS, SignatureIndex
+
+
+class TripleStore:
+    """An indexed, queryable triple store over one RDF graph."""
+
+    def __init__(
+        self,
+        graph: Optional[RDFGraph] = None,
+        name: str = "",
+        signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    ) -> None:
+        self._graph = graph if graph is not None else RDFGraph(name=name)
+        if name:
+            self._graph.name = name
+        self._signature_bits = signature_bits
+        self._signatures: Optional[SignatureIndex] = None
+        self._matcher: Optional[LocalMatcher] = None
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> RDFGraph:
+        return self._graph
+
+    @property
+    def name(self) -> str:
+        return self._graph.name
+
+    def load(self, triples: Iterable[Triple]) -> int:
+        """Bulk-load triples, invalidating the indexes; return the number added."""
+        added = self._graph.add_all(triples)
+        if added:
+            self._invalidate()
+        return added
+
+    def add(self, triple: Triple) -> bool:
+        added = self._graph.add(triple)
+        if added:
+            self._invalidate()
+        return added
+
+    def _invalidate(self) -> None:
+        self._signatures = None
+        self._matcher = None
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    # ------------------------------------------------------------------
+    # Index access
+    # ------------------------------------------------------------------
+    @property
+    def signatures(self) -> SignatureIndex:
+        """The (lazily rebuilt) signature index for candidate filtering."""
+        if self._signatures is None:
+            self._signatures = SignatureIndex(self._graph, self._signature_bits)
+        return self._signatures
+
+    @property
+    def matcher(self) -> LocalMatcher:
+        if self._matcher is None:
+            self._matcher = LocalMatcher(self._graph, self.signatures)
+        return self._matcher
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, query: SelectQuery) -> ResultSet:
+        """Evaluate a full SPARQL BGP query over this store's graph."""
+        return self.matcher.evaluate(query)
+
+    def find_matches(self, query: QueryGraph):
+        """Yield complete vertex assignments of ``query`` over this store's graph."""
+        return self.matcher.find_matches(query)
+
+    def candidates(
+        self,
+        query: QueryGraph,
+        relaxed_edges: Optional[Dict[PatternTerm, Set[int]]] = None,
+        restrict_to: Optional[Set[Node]] = None,
+    ) -> Dict[PatternTerm, Set[Node]]:
+        """Per-query-vertex candidates using this store's signature index."""
+        return compute_candidates(
+            self._graph,
+            query,
+            self.signatures,
+            relaxed_edges=relaxed_edges,
+            restrict_to=restrict_to,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        return self._graph.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<TripleStore {self._graph.name!r} triples={len(self._graph)}>"

@@ -1,0 +1,93 @@
+"""Tests for the experiment harness (table/figure regeneration functions)."""
+
+import pytest
+
+from repro.bench import (
+    ablation_series,
+    comparison_series,
+    lec_feature_shipment_series,
+    partitioning_cost_table,
+    partitioning_performance_series,
+    per_stage_table,
+    prepare_workload,
+    run_query,
+    scalability_series,
+)
+from repro.core import EngineConfig
+
+
+@pytest.fixture(scope="module")
+def yago_workload():
+    return prepare_workload("YAGO2", num_sites=3)
+
+
+class TestPrepareWorkload:
+    def test_workload_contains_cluster_and_queries(self, yago_workload):
+        assert yago_workload.cluster.num_sites == 3
+        assert set(yago_workload.queries) == {"YQ1", "YQ2", "YQ3", "YQ4"}
+        assert yago_workload.partitioned.strategy == "hash"
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError):
+            prepare_workload("YAGO2", strategy="round_robin")
+
+    def test_run_query_resets_network(self, yago_workload):
+        first = run_query(yago_workload, "YQ1")
+        second = run_query(yago_workload, "YQ1", EngineConfig.basic())
+        assert first.statistics.total_shipment_bytes >= 0
+        assert len(first.results) == len(second.results)
+
+
+class TestTables:
+    def test_per_stage_table_one_row_per_query(self):
+        rows = per_stage_table("YAGO2", num_sites=3)
+        assert [row["query"] for row in rows] == ["YQ1", "YQ2", "YQ3", "YQ4"]
+        for row in rows:
+            assert row["total_time_ms"] >= row["assembly_time_ms"]
+            assert row["local_partial_matches"] >= 0
+
+    def test_per_stage_table_star_queries_have_zero_optimization_cost(self):
+        rows = per_stage_table("LUBM", num_sites=3, query_names=["LQ2", "LQ4"])
+        for row in rows:
+            assert row["candidates_shipment_kb"] == 0
+            assert row["lec_pruning_shipment_kb"] == 0
+            assert row["local_partial_matches"] == 0
+
+    def test_partitioning_cost_table_covers_both_datasets(self):
+        rows = partitioning_cost_table(num_sites=3)
+        assert [row["dataset"] for row in rows] == ["YAGO2", "LUBM"]
+        for row in rows:
+            assert set(row) == {"dataset", "hash", "semantic_hash", "metis"}
+            assert all(row[strategy] > 0 for strategy in ("hash", "semantic_hash", "metis"))
+
+
+class TestSeries:
+    def test_ablation_series_has_four_engines(self):
+        series = ablation_series("YAGO2", ["YQ1", "YQ4"], num_sites=3)
+        assert set(series) == {"gStoreD-Basic", "gStoreD-LA", "gStoreD-LO", "gStoreD"}
+        for points in series.values():
+            assert set(points) == {"YQ1", "YQ4"}
+
+    def test_partitioning_performance_series(self):
+        series = partitioning_performance_series("YAGO2", ["YQ1"], num_sites=3)
+        assert set(series) == {"hash", "semantic_hash", "metis"}
+
+    def test_lec_feature_shipment_series(self):
+        series = lec_feature_shipment_series("YAGO2", ["YQ1", "YQ3"], num_sites=3)
+        for points in series.values():
+            assert all(value >= 0 for value in points.values())
+
+    def test_scalability_series_is_monotone_in_scale_labels(self):
+        series = scalability_series(["LQ4"], scales={"S": 1, "L": 2}, num_sites=3)
+        assert set(series) == {"LQ4"}
+        assert set(series["LQ4"]) == {"S", "L"}
+
+    def test_comparison_series_contains_baselines_and_gstored(self):
+        series = comparison_series(
+            "YAGO2",
+            num_sites=3,
+            query_names=["YQ1"],
+            gstored_strategies=("hash",),
+            baselines=("DREAM", "S2RDF"),
+        )
+        assert set(series) == {"DREAM", "S2RDF", "gStoreD-hash"}

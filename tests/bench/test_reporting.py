@@ -1,0 +1,69 @@
+"""Unit tests for the report rendering helpers."""
+
+from repro.bench import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_integers_use_thousands_separator(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_small_floats_keep_precision(self):
+        assert format_value(0.1234) == "0.123"
+
+    def test_medium_floats(self):
+        assert format_value(42.77) == "42.8"
+
+    def test_large_floats_rounded(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_zero_float(self):
+        assert format_value(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_value("LQ1") == "LQ1"
+
+
+class TestFormatTable:
+    def test_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_header_and_alignment(self):
+        rows = [{"query": "LQ1", "time": 10.0}, {"query": "LQ2", "time": 3.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "LQ1" in lines[2]
+        assert len(lines) == 4
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        series = {
+            "gStoreD": {"LQ1": 10.0, "LQ3": 5.0},
+            "DREAM": {"LQ1": 20.0, "LQ3": 2.0},
+        }
+        text = format_series("Fig. X", series)
+        lines = text.splitlines()
+        assert lines[0] == "Fig. X"
+        assert "gStoreD" in lines[1]
+        assert "DREAM" in lines[1]
+        assert any(line.startswith("LQ1") for line in lines)
+
+    def test_series_with_disjoint_x_values(self):
+        series = {"a": {"x1": 1.0}, "b": {"x2": 2.0}}
+        text = format_series("t", series)
+        assert "x1" in text and "x2" in text

@@ -1,0 +1,81 @@
+"""Shared fixtures for the whole test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import btc, lubm, yago
+from repro.datasets.paper_example import (
+    build_example_graph,
+    build_example_partitioning,
+    example_query,
+)
+from repro.distributed import build_cluster
+from repro.partition import HashPartitioner
+from repro.rdf import IRI, Literal, Namespace, RDFGraph, Triple, Variable
+from repro.sparql import QueryGraph
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(scope="session")
+def example_graph() -> RDFGraph:
+    """The paper's Fig. 1 RDF graph."""
+    return build_example_graph()
+
+
+@pytest.fixture(scope="session")
+def example_partitioning():
+    """The paper's Fig. 1 three-fragment partitioning."""
+    return build_example_partitioning()
+
+
+@pytest.fixture(scope="session")
+def example_query_obj():
+    """The paper's Fig. 2 query."""
+    return example_query()
+
+
+@pytest.fixture(scope="session")
+def example_query_graph(example_query_obj) -> QueryGraph:
+    return QueryGraph(example_query_obj.bgp)
+
+
+@pytest.fixture(scope="session")
+def example_cluster(example_partitioning):
+    return build_cluster(example_partitioning)
+
+
+@pytest.fixture(scope="session")
+def lubm_graph() -> RDFGraph:
+    return lubm.generate(scale=1)
+
+
+@pytest.fixture(scope="session")
+def yago_graph() -> RDFGraph:
+    return yago.generate(scale=1)
+
+
+@pytest.fixture(scope="session")
+def btc_graph() -> RDFGraph:
+    return btc.generate(scale=1)
+
+
+@pytest.fixture(scope="session")
+def lubm_cluster(lubm_graph):
+    return build_cluster(HashPartitioner(4).partition(lubm_graph))
+
+
+@pytest.fixture()
+def tiny_graph() -> RDFGraph:
+    """A 4-vertex toy graph used by many unit tests.
+
+    a --knows--> b --knows--> c,  a --likes--> c,  c --name--> "Carol"
+    """
+    graph = RDFGraph(name="tiny")
+    a, b, c = EX.term("a"), EX.term("b"), EX.term("c")
+    graph.add(Triple(a, EX.term("knows"), b))
+    graph.add(Triple(b, EX.term("knows"), c))
+    graph.add(Triple(a, EX.term("likes"), c))
+    graph.add(Triple(c, EX.term("name"), Literal("Carol")))
+    return graph

@@ -1,0 +1,95 @@
+"""Unit tests for the assembly stage (Algorithm 3 and the basic join)."""
+
+import pytest
+
+from repro.core.assembly import BasicAssembler, LECAssembler, assemble_matches
+from repro.core.partial_eval import evaluate_fragment
+from repro.partition import HashPartitioner, SemanticHashPartitioner
+from repro.sparql import QueryGraph
+from repro.datasets import btc, lubm, yago
+
+
+def collect_lpms(partitioned, query_graph):
+    lpms = []
+    for fragment in partitioned:
+        lpms.extend(evaluate_fragment(fragment, query_graph).local_partial_matches)
+    return lpms
+
+
+class TestAssemblersAgree:
+    """Both strategies must produce exactly the same complete matches."""
+
+    @pytest.mark.parametrize(
+        "dataset, query_name",
+        [
+            (lubm, "LQ1"),
+            (lubm, "LQ6"),
+            (lubm, "LQ7"),
+            (yago, "YQ1"),
+            (yago, "YQ4"),
+            (btc, "BQ4"),
+            (btc, "BQ5"),
+        ],
+    )
+    def test_basic_and_lec_assembler_same_matches(self, dataset, query_name):
+        graph = dataset.generate(scale=1)
+        query = dataset.queries()[query_name]
+        query_graph = QueryGraph(query.bgp)
+        partitioned = HashPartitioner(4).partition(graph)
+        lpms = collect_lpms(partitioned, query_graph)
+        basic = BasicAssembler(query_graph).assemble(lpms)
+        lec = LECAssembler(query_graph).assemble(lpms)
+        assert {m.assignment for m in basic.matches} == {m.assignment for m in lec.matches}
+
+    def test_lec_assembler_attempts_no_more_joins_than_basic(self):
+        graph = lubm.generate(scale=1)
+        query_graph = QueryGraph(lubm.queries()["LQ7"].bgp)
+        partitioned = HashPartitioner(4).partition(graph)
+        lpms = collect_lpms(partitioned, query_graph)
+        basic = BasicAssembler(query_graph).assemble(lpms)
+        lec = LECAssembler(query_graph).assemble(lpms)
+        assert lec.join_attempts <= basic.join_attempts
+
+
+class TestAssemblyDetails:
+    def test_assemble_matches_dispatches_on_flag(self, example_partitioning, example_query_graph):
+        lpms = collect_lpms(example_partitioning, example_query_graph)
+        lec_outcome = assemble_matches(example_query_graph, lpms, use_lec_grouping=True)
+        basic_outcome = assemble_matches(example_query_graph, lpms, use_lec_grouping=False)
+        assert lec_outcome.num_matches == basic_outcome.num_matches == 4
+
+    def test_empty_input_produces_no_matches(self, example_query_graph):
+        outcome = LECAssembler(example_query_graph).assemble([])
+        assert outcome.num_matches == 0
+        assert outcome.groups == 0
+
+    def test_matches_are_complete_and_distinct(self, example_partitioning, example_query_graph):
+        lpms = collect_lpms(example_partitioning, example_query_graph)
+        outcome = LECAssembler(example_query_graph).assemble(lpms)
+        assignments = [m.assignment for m in outcome.matches]
+        assert len(assignments) == len(set(assignments))
+        for match in outcome.matches:
+            assert match.is_complete(example_query_graph)
+
+    def test_bindings_project_variables_only(self, example_partitioning, example_query_graph):
+        lpms = collect_lpms(example_partitioning, example_query_graph)
+        outcome = LECAssembler(example_query_graph).assemble(lpms)
+        for binding in outcome.bindings():
+            assert all(variable.is_variable for variable in binding.variables)
+
+    def test_same_fragment_lpms_can_participate_in_one_match(self):
+        """A crossing match may need two LPMs of the same fragment (two
+        disconnected internal regions) — the BQ4 regression scenario."""
+        graph = btc.generate(scale=1)
+        query_graph = QueryGraph(btc.queries()["BQ4"].bgp)
+        partitioned = HashPartitioner(4).partition(graph)
+        lpms = collect_lpms(partitioned, query_graph)
+        outcome = LECAssembler(query_graph).assemble(lpms)
+        multi_region = [m for m in outcome.matches if len(m.fragments) < 4 and len(m.fragments) >= 2]
+        assert outcome.num_matches > 0
+        assert multi_region or all(len(m.fragments) >= 1 for m in outcome.matches)
+
+    def test_group_count_reported(self, example_partitioning, example_query_graph):
+        lpms = collect_lpms(example_partitioning, example_query_graph)
+        outcome = LECAssembler(example_query_graph).assemble(lpms)
+        assert outcome.groups >= 4

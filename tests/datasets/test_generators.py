@@ -1,0 +1,84 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import btc, lubm, yago
+from repro.datasets.generator_utils import DatasetInfo
+from repro.rdf import Literal
+
+
+@pytest.mark.parametrize("module", [lubm, yago, btc])
+class TestCommonGeneratorProperties:
+    def test_deterministic_for_same_seed(self, module):
+        assert module.generate(scale=1, seed=5) == module.generate(scale=1, seed=5)
+
+    def test_different_seeds_differ(self, module):
+        assert module.generate(scale=1, seed=1) != module.generate(scale=1, seed=2)
+
+    def test_scale_increases_size(self, module):
+        small = module.generate(scale=1)
+        large = module.generate(scale=2)
+        assert len(large) > len(small)
+
+    def test_no_literal_subjects(self, module):
+        graph = module.generate(scale=1)
+        assert not any(isinstance(triple.subject, Literal) for triple in graph)
+
+    def test_graph_mostly_connected(self, module):
+        graph = module.generate(scale=1)
+        components = graph.connected_components()
+        largest = max(len(component) for component in components)
+        assert largest > 0.5 * len(graph.vertices)
+
+    def test_dataset_info(self, module):
+        graph = module.generate(scale=1)
+        info = module.dataset_info(graph, scale=1)
+        assert isinstance(info, DatasetInfo)
+        assert info.triples == len(graph)
+        assert info.as_row()["scale"] == 1
+
+
+class TestLubmSchema:
+    def test_contains_core_classes(self):
+        graph = lubm.generate(scale=1)
+        types = {t.object for t in graph.triples(None, None, None) if t.predicate.local_name == "type"}
+        assert lubm.GRADUATE_STUDENT in types
+        assert lubm.FULL_PROFESSOR in types
+        assert lubm.DEPARTMENT in types
+
+    def test_every_student_has_department_and_courses(self):
+        graph = lubm.generate(scale=1)
+        students = graph.subjects(predicate=lubm.MEMBER_OF)
+        for student in list(students)[:10]:
+            assert graph.objects(student, lubm.TAKES_COURSE) or graph.objects(student, lubm.WORKS_FOR)
+
+    def test_doctoral_degrees_link_universities(self):
+        graph = lubm.generate(scale=2)
+        degrees = list(graph.triples(None, lubm.DOCTORAL_DEGREE_FROM, None))
+        assert degrees
+        universities = graph.subjects(predicate=lubm.NAME) & {t.object for t in degrees}
+        assert universities
+
+
+class TestYagoSchema:
+    def test_people_have_birth_places(self):
+        graph = yago.generate(scale=1)
+        assert len(list(graph.triples(None, yago.WAS_BORN_IN, None))) > 0
+
+    def test_cities_located_in_countries(self):
+        graph = yago.generate(scale=1)
+        for triple in graph.triples(None, yago.IS_LOCATED_IN, None):
+            assert triple.object in graph.vertices
+
+
+class TestBtcSchema:
+    def test_heterogeneous_vocabularies_present(self):
+        graph = btc.generate(scale=1)
+        predicates = {p.value for p in graph.predicates}
+        assert any("foaf" in p for p in predicates)
+        assert any("geonames" in p for p in predicates)
+        assert any("dc/" in p or "dc#" in p or "/dc" in p for p in predicates)
+
+    def test_articles_have_creators(self):
+        graph = btc.generate(scale=1)
+        assert len(list(graph.triples(None, btc.DC_CREATOR, None))) > 0

@@ -1,0 +1,86 @@
+"""Tests for the benchmark query sets (shape classes and answerability)."""
+
+import pytest
+
+from repro.datasets import btc, lubm, yago
+from repro.sparql import QueryGraph
+from repro.store import evaluate_centralized
+
+
+class TestLubmQueries:
+    def test_seven_queries(self):
+        assert set(lubm.queries()) == {f"LQ{i}" for i in range(1, 8)}
+
+    def test_star_queries_are_stars(self):
+        queries = lubm.queries()
+        for name in lubm.STAR_QUERIES:
+            assert QueryGraph(queries[name].bgp).is_star(), name
+
+    def test_complex_queries_are_not_stars(self):
+        queries = lubm.queries()
+        for name in lubm.COMPLEX_QUERIES:
+            assert not QueryGraph(queries[name].bgp).is_star(), name
+
+    def test_queries_are_connected(self):
+        for name, query in lubm.queries().items():
+            assert QueryGraph(query.bgp).is_connected(), name
+
+    @pytest.mark.parametrize("name", ["LQ1", "LQ2", "LQ4", "LQ5", "LQ6", "LQ7"])
+    def test_non_empty_answers(self, lubm_graph, name):
+        query = lubm.queries()[name]
+        assert len(evaluate_centralized(lubm_graph, query)) > 0
+
+    def test_lq3_is_empty(self, lubm_graph):
+        assert len(evaluate_centralized(lubm_graph, lubm.queries()["LQ3"])) == 0
+
+    def test_selective_flags(self):
+        queries = lubm.queries()
+        assert QueryGraph(queries["LQ4"].bgp).has_selective_pattern()
+        assert QueryGraph(queries["LQ6"].bgp).has_selective_pattern()
+        assert not QueryGraph(queries["LQ1"].bgp).has_selective_pattern()
+
+
+class TestYagoQueries:
+    def test_four_queries(self):
+        assert set(yago.queries()) == {"YQ1", "YQ2", "YQ3", "YQ4"}
+
+    def test_all_non_star(self):
+        for name, query in yago.queries().items():
+            assert not QueryGraph(query.bgp).is_star(), name
+
+    def test_yq3_is_the_largest_answer(self, yago_graph):
+        sizes = {
+            name: len(evaluate_centralized(yago_graph, query))
+            for name, query in yago.queries().items()
+        }
+        assert sizes["YQ3"] == max(sizes.values())
+        assert sizes["YQ2"] == 0
+        assert sizes["YQ1"] > 0
+
+
+class TestBtcQueries:
+    def test_seven_queries(self):
+        assert set(btc.queries()) == {f"BQ{i}" for i in range(1, 8)}
+
+    def test_star_classification(self):
+        queries = btc.queries()
+        for name in btc.STAR_QUERIES:
+            assert QueryGraph(queries[name].bgp).is_star(), name
+        for name in btc.COMPLEX_QUERIES:
+            assert not QueryGraph(queries[name].bgp).is_star(), name
+
+    def test_every_query_is_selective(self):
+        # The BTC workload of the paper is dominated by selective queries.
+        queries = btc.queries()
+        selective = [QueryGraph(q.bgp).has_selective_pattern() for q in queries.values()]
+        assert sum(selective) >= 5
+
+    def test_empty_and_non_empty_mix(self, btc_graph):
+        sizes = {
+            name: len(evaluate_centralized(btc_graph, query))
+            for name, query in btc.queries().items()
+        }
+        assert sizes["BQ1"] > 0
+        assert sizes["BQ4"] > 0
+        assert sizes["BQ6"] == 0
+        assert sizes["BQ7"] == 0

@@ -1,0 +1,96 @@
+"""Tests for the dataset registry, the paper example and the random generators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    LUBM_SCALES,
+    all_benchmark_queries,
+    build_example_graph,
+    build_example_partitioning,
+    example_query,
+    get_dataset,
+    query_shape,
+    random_assignment,
+    random_connected_query,
+    random_graph,
+)
+from repro.partition import build_partitioned_graph
+from repro.sparql import QueryGraph
+from repro.store import evaluate_centralized
+
+
+class TestRegistry:
+    def test_three_datasets_registered(self):
+        assert set(DATASETS) == {"LUBM", "YAGO2", "BTC"}
+
+    def test_get_dataset(self):
+        spec = get_dataset("LUBM")
+        assert spec.name == "LUBM"
+        assert set(spec.query_names()) == {f"LQ{i}" for i in range(1, 8)}
+
+    def test_get_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("DBpedia")
+
+    def test_lubm_scales_are_increasing(self):
+        values = list(LUBM_SCALES.values())
+        assert values == sorted(values)
+        assert set(LUBM_SCALES) == {"100M", "500M", "1B"}
+
+    def test_all_benchmark_queries(self):
+        queries = all_benchmark_queries()
+        assert sum(len(qs) for qs in queries.values()) == 18
+
+    def test_query_shape_helper(self):
+        spec = get_dataset("LUBM")
+        assert query_shape(spec.queries()["LQ2"]) == "star"
+
+
+class TestPaperExample:
+    def test_graph_has_19_triples(self):
+        assert len(build_example_graph()) == 19
+
+    def test_partitioning_matches_figure1(self):
+        partitioned = build_example_partitioning()
+        assert partitioned.num_fragments == 3
+        partitioned.validate()
+        assert len(partitioned.fragment(0).crossing_edges) == 3
+
+    def test_query_answer_count(self):
+        graph = build_example_graph()
+        assert len(evaluate_centralized(graph, example_query())) == 4
+
+    def test_query_graph_shape(self):
+        graph = QueryGraph(example_query().bgp)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 4
+        assert not graph.is_star()
+
+
+class TestRandomGenerators:
+    def test_random_graph_is_deterministic(self):
+        assert random_graph(3) == random_graph(3)
+
+    def test_random_graph_size(self):
+        graph = random_graph(1, num_vertices=20, num_edges=40)
+        assert len(graph) >= 40
+        assert len(graph.vertices) <= 20
+
+    def test_random_query_has_answers(self):
+        graph = random_graph(7)
+        query = random_connected_query(graph, seed=7, num_edges=3)
+        assert query is not None
+        assert len(evaluate_centralized(graph, query)) >= 1
+
+    def test_random_query_is_connected(self):
+        graph = random_graph(11)
+        query = random_connected_query(graph, seed=11, num_edges=4)
+        assert QueryGraph(query.bgp).is_connected()
+
+    def test_random_assignment_covers_all_vertices(self):
+        graph = random_graph(5)
+        assignment = random_assignment(graph, seed=5, num_fragments=3)
+        assert set(assignment) == graph.vertices
+        partitioned = build_partitioned_graph(graph, assignment, num_fragments=3)
+        partitioned.validate()

@@ -1,0 +1,78 @@
+"""Unit tests for stage and query statistics."""
+
+import pytest
+
+from repro.distributed import QueryStatistics, StageStats
+
+
+class TestStageStats:
+    def test_parallel_time_is_max_site_plus_coordinator(self):
+        stage = StageStats("partial_evaluation")
+        stage.record_site_time(0, 0.2)
+        stage.record_site_time(1, 0.5)
+        stage.coordinator_time_s = 0.1
+        assert stage.parallel_time_s == pytest.approx(0.6)
+        assert stage.total_cpu_time_s == pytest.approx(0.8)
+
+    def test_record_site_time_accumulates(self):
+        stage = StageStats("x")
+        stage.record_site_time(0, 0.1)
+        stage.record_site_time(0, 0.2)
+        assert stage.site_times_s[0] == pytest.approx(0.3)
+
+    def test_counters(self):
+        stage = StageStats("x")
+        stage.add_counter("lpms", 5)
+        stage.add_counter("lpms", 2)
+        assert stage.counters["lpms"] == 7
+
+    def test_shipment_conversion(self):
+        stage = StageStats("x", shipped_bytes=2048)
+        assert stage.shipped_kb == 2.0
+
+    def test_as_dict_contains_counters(self):
+        stage = StageStats("x")
+        stage.add_counter("items", 3)
+        row = stage.as_dict()
+        assert row["stage"] == "x"
+        assert row["items"] == 3
+
+
+class TestQueryStatistics:
+    def test_stage_creates_and_reuses(self):
+        stats = QueryStatistics(query_name="Q")
+        first = stats.stage("assembly")
+        second = stats.stage("assembly")
+        assert first is second
+        assert stats.find_stage("assembly") is first
+        assert stats.find_stage("missing") is None
+
+    def test_total_time_sums_stages(self):
+        stats = QueryStatistics()
+        stats.stage("a").coordinator_time_s = 0.25
+        stats.stage("b").record_site_time(0, 0.5)
+        assert stats.total_time_s == 0.75
+        assert stats.total_time_ms == 750.0
+
+    def test_total_shipment(self):
+        stats = QueryStatistics()
+        stats.stage("a").shipped_bytes = 1024
+        stats.stage("b").shipped_bytes = 1024
+        assert stats.total_shipment_kb == 2.0
+
+    def test_counter_lookup_with_default(self):
+        stats = QueryStatistics()
+        stats.stage("a").add_counter("found", 4)
+        assert stats.counter("a", "found") == 4
+        assert stats.counter("a", "missing", default=-1) == -1
+        assert stats.counter("nope", "found", default=0) == 0
+
+    def test_as_row_flattens_stages(self):
+        stats = QueryStatistics(query_name="LQ1", engine="gStoreD", dataset="LUBM", partitioning="hash")
+        stats.stage("assembly").add_counter("crossing_matches", 2)
+        stats.num_results = 7
+        row = stats.as_row()
+        assert row["query"] == "LQ1"
+        assert row["results"] == 7
+        assert row["assembly_crossing_matches"] == 2
+        assert "assembly_time_ms" in row

@@ -1,0 +1,47 @@
+"""Integration tests varying the number of sites and partitioning granularity."""
+
+import pytest
+
+from repro.core import EngineConfig, GStoreDEngine
+from repro.datasets import lubm
+from repro.distributed import build_cluster
+from repro.partition import HashPartitioner
+from repro.store import evaluate_centralized
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return lubm.generate(scale=1)
+
+
+@pytest.mark.parametrize("num_sites", [1, 2, 3, 6, 9])
+class TestSiteCountInvariance:
+    def test_answers_do_not_depend_on_site_count(self, graph, num_sites):
+        query = lubm.queries()["LQ6"]
+        expected = evaluate_centralized(graph, query).project(query.effective_projection, distinct=True)
+        cluster = build_cluster(HashPartitioner(num_sites).partition(graph))
+        result = GStoreDEngine(cluster, EngineConfig.full()).execute(query, query_name="LQ6")
+        assert result.results.same_solutions(expected)
+
+    def test_single_site_needs_no_crossing_work(self, graph, num_sites):
+        if num_sites != 1:
+            pytest.skip("only meaningful for the single-site case")
+        cluster = build_cluster(HashPartitioner(1).partition(graph))
+        result = GStoreDEngine(cluster).execute(lubm.queries()["LQ1"], query_name="LQ1")
+        assert result.statistics.counter("partial_evaluation", "local_partial_matches") == 0
+        assert result.statistics.counter("assembly", "crossing_matches") == 0
+
+
+class TestShipmentScaling:
+    def test_more_sites_means_more_crossing_edges_and_shipment(self, graph):
+        query = lubm.queries()["LQ1"]
+        shipments = []
+        crossing = []
+        for num_sites in (2, 6):
+            partitioned = HashPartitioner(num_sites).partition(graph)
+            crossing.append(len(partitioned.crossing_edges))
+            cluster = build_cluster(partitioned)
+            result = GStoreDEngine(cluster, EngineConfig.lec_optimized()).execute(query)
+            shipments.append(result.statistics.total_shipment_bytes)
+        assert crossing[0] < crossing[1]
+        assert shipments[0] < shipments[1]

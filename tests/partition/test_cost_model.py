@@ -1,0 +1,111 @@
+"""Unit tests for the Section VII partitioning cost model."""
+
+import math
+
+import pytest
+
+from repro.partition import (
+    build_partitioned_graph,
+    compare_partitionings,
+    crossing_edge_distribution,
+    crossing_edge_expectation,
+    largest_fragment_size,
+    partitioning_cost,
+    select_best_partitioning,
+    star_query_lec_feature_count,
+)
+from repro.rdf import Namespace, RDFGraph, Triple
+
+EX = Namespace("http://example.org/")
+P = EX.term("p")
+
+
+def star_vs_scattered():
+    """Two partitionings of the same 8-edge graph, mirroring Fig. 8.
+
+    In the first, all four crossing edges meet in one hub vertex; in the
+    second, the crossing edges are scattered over two boundary vertices.
+    """
+    hub = EX.term("hub")
+    spokes = [EX.term(f"s{i}") for i in range(4)]
+    others = [EX.term(f"o{i}") for i in range(4)]
+    graph = RDFGraph()
+    for spoke, other in zip(spokes, others):
+        graph.add(Triple(hub, P, spoke))
+        graph.add(Triple(spoke, P, other))
+    concentrated = build_partitioned_graph(
+        graph,
+        {hub: 0, **{s: 1 for s in spokes}, **{o: 1 for o in others}},
+        num_fragments=2,
+        strategy="concentrated",
+    )
+    scattered_assignment = {hub: 0, spokes[0]: 0, spokes[1]: 0, others[0]: 1, others[1]: 1}
+    scattered_assignment.update({spokes[2]: 1, spokes[3]: 1, others[2]: 0, others[3]: 0})
+    scattered = build_partitioned_graph(
+        graph, scattered_assignment, num_fragments=2, strategy="scattered"
+    )
+    return concentrated, scattered
+
+
+class TestDistribution:
+    def test_distribution_sums_to_one(self):
+        concentrated, scattered = star_vs_scattered()
+        for partitioned in (concentrated, scattered):
+            distribution = crossing_edge_distribution(partitioned)
+            assert distribution
+            assert math.isclose(sum(distribution.values()), 1.0)
+
+    def test_no_crossing_edges_gives_empty_distribution(self):
+        graph = RDFGraph([Triple(EX.term("a"), P, EX.term("b"))])
+        partitioned = build_partitioned_graph(graph, {EX.term("a"): 0, EX.term("b"): 0}, num_fragments=1)
+        assert crossing_edge_distribution(partitioned) == {}
+        assert crossing_edge_expectation(partitioned) == 0.0
+
+    def test_concentrated_crossing_edges_have_higher_expectation(self):
+        concentrated, scattered = star_vs_scattered()
+        assert crossing_edge_expectation(concentrated) > crossing_edge_expectation(scattered)
+
+
+class TestCost:
+    def test_cost_combines_expectation_and_balance(self):
+        concentrated, _ = star_vs_scattered()
+        cost = partitioning_cost(concentrated)
+        assert cost.cost == pytest.approx(cost.expectation * cost.largest_fragment_edges)
+        assert cost.largest_fragment_edges == largest_fragment_size(concentrated)
+
+    def test_select_best_partitioning_prefers_scattered(self):
+        concentrated, scattered = star_vs_scattered()
+        best, best_cost = select_best_partitioning([concentrated, scattered])
+        assert best is scattered
+        assert best_cost.strategy == "scattered"
+
+    def test_compare_partitionings_returns_one_row_each(self):
+        rows = compare_partitionings(list(star_vs_scattered()))
+        assert len(rows) == 2
+        assert {row.strategy for row in rows} == {"concentrated", "scattered"}
+
+    def test_select_best_requires_candidates(self):
+        with pytest.raises(ValueError):
+            select_best_partitioning([])
+
+    def test_as_row_keys(self):
+        concentrated, _ = star_vs_scattered()
+        row = partitioning_cost(concentrated).as_row()
+        assert set(row) == {"strategy", "crossing_edges", "expectation", "largest_fragment_edges", "cost"}
+
+
+class TestFig8Example:
+    def test_fig8a_concentrated_boundary_counts_10_features(self):
+        # One boundary vertex adjacent to all 4 crossing edges, 2-edge star query:
+        # C(4,2) + C(4,1) = 10.
+        assert star_query_lec_feature_count([4], star_edges=2) == 10
+
+    def test_fig8b_scattered_boundary_counts_9_features(self):
+        # Two boundary vertices with 3 and 2 crossing edges:
+        # C(3,2)+C(3,1) + C(2,2)+C(2,1) = 9.
+        assert star_query_lec_feature_count([3, 2], star_edges=2) == 9
+
+    def test_scattering_reduces_feature_count_in_general(self):
+        concentrated = star_query_lec_feature_count([6], star_edges=2)
+        scattered = star_query_lec_feature_count([2, 2, 2], star_edges=2)
+        assert scattered < concentrated

@@ -1,0 +1,120 @@
+"""Unit tests for the partitioning strategies."""
+
+import pytest
+
+from repro.datasets import lubm
+from repro.partition import (
+    HashPartitioner,
+    MetisLikePartitioner,
+    PARTITIONER_REGISTRY,
+    SemanticHashPartitioner,
+    make_partitioner,
+)
+from repro.rdf import Literal, Namespace, RDFGraph, Triple
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(scope="module")
+def lubm_small():
+    return lubm.generate(scale=1)
+
+
+class TestRegistry:
+    def test_registry_contains_all_strategies(self):
+        assert set(PARTITIONER_REGISTRY) == {"hash", "semantic_hash", "metis"}
+
+    def test_make_partitioner(self):
+        assert isinstance(make_partitioner("hash", 3), HashPartitioner)
+        assert isinstance(make_partitioner("semantic_hash", 3), SemanticHashPartitioner)
+        assert isinstance(make_partitioner("metis", 3), MetisLikePartitioner)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_partitioner("random", 3)
+
+    def test_invalid_fragment_count_raises(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+@pytest.mark.parametrize("strategy", ["hash", "semantic_hash", "metis"])
+class TestCommonProperties:
+    def test_partitioning_is_valid(self, strategy, lubm_small):
+        partitioned = make_partitioner(strategy, 4).partition(lubm_small)
+        partitioned.validate()
+
+    def test_every_vertex_assigned_to_declared_fragments(self, strategy, lubm_small):
+        partitioned = make_partitioner(strategy, 4).partition(lubm_small)
+        assert partitioned.num_fragments == 4
+        for vertex in lubm_small.vertices:
+            assert 0 <= partitioned.fragment_of(vertex) < 4
+
+    def test_deterministic(self, strategy, lubm_small):
+        first = make_partitioner(strategy, 4).assign(lubm_small)
+        second = make_partitioner(strategy, 4).assign(lubm_small)
+        assert first == second
+
+    def test_strategy_name_recorded(self, strategy, lubm_small):
+        partitioned = make_partitioner(strategy, 3).partition(lubm_small)
+        assert partitioned.strategy == strategy
+
+
+class TestHashPartitioner:
+    def test_reasonably_balanced(self, lubm_small):
+        partitioned = HashPartitioner(4).partition(lubm_small)
+        sizes = [len(fragment.internal_vertices) for fragment in partitioned]
+        assert max(sizes) < 2 * (len(lubm_small.vertices) / 4)
+
+    def test_single_fragment(self, lubm_small):
+        partitioned = HashPartitioner(1).partition(lubm_small)
+        assert len(partitioned.crossing_edges) == 0
+
+
+class TestSemanticHashPartitioner:
+    def test_entities_with_same_prefix_grouped(self):
+        graph = RDFGraph()
+        p = EX.term("p")
+        # Two "universities" with several entities each sharing a URI prefix.
+        for u in range(2):
+            for i in range(5):
+                graph.add(Triple(EX.term(f"univ{u}/entity{i}"), p, EX.term(f"univ{u}/entity{(i+1)%5}")))
+        partitioned = SemanticHashPartitioner(4).partition(graph)
+        for u in range(2):
+            fragments = {partitioned.fragment_of(EX.term(f"univ{u}/entity{i}")) for i in range(5)}
+            assert len(fragments) == 1
+
+    def test_literals_follow_their_subjects(self):
+        graph = RDFGraph()
+        subject = EX.term("univ0/prof1")
+        graph.add(Triple(subject, EX.term("name"), Literal("Someone")))
+        graph.add(Triple(subject, EX.term("knows"), EX.term("univ1/prof2")))
+        partitioned = SemanticHashPartitioner(4).partition(graph)
+        assert partitioned.fragment_of(Literal("Someone")) == partitioned.fragment_of(subject)
+
+    def test_fewer_crossing_edges_than_hash_on_lubm(self, lubm_small):
+        hash_crossing = len(HashPartitioner(4).partition(lubm_small).crossing_edges)
+        semantic_crossing = len(SemanticHashPartitioner(4).partition(lubm_small).crossing_edges)
+        assert semantic_crossing < hash_crossing
+
+
+class TestMetisLikePartitioner:
+    def test_fewer_crossing_edges_than_hash(self, lubm_small):
+        hash_crossing = len(HashPartitioner(4).partition(lubm_small).crossing_edges)
+        metis_crossing = len(MetisLikePartitioner(4).partition(lubm_small).crossing_edges)
+        assert metis_crossing < hash_crossing
+
+    def test_respects_num_fragments(self, lubm_small):
+        partitioned = MetisLikePartitioner(3).partition(lubm_small)
+        used = {partitioned.fragment_of(v) for v in lubm_small.vertices}
+        assert used <= {0, 1, 2}
+        assert len(used) > 1
+
+    def test_empty_graph(self):
+        partitioned = MetisLikePartitioner(2).partition(RDFGraph())
+        assert partitioned.num_fragments == 2
+        assert len(partitioned.crossing_edges) == 0
+
+    def test_seed_changes_are_still_valid(self, lubm_small):
+        partitioned = MetisLikePartitioner(4, seed=99).partition(lubm_small)
+        partitioned.validate()

@@ -1,0 +1,68 @@
+"""Unit tests for the cost-guided partitioning refinement extension."""
+
+import pytest
+
+from repro.datasets import lubm, random_assignment, random_graph
+from repro.partition import (
+    HashPartitioner,
+    build_partitioned_graph,
+    partitioning_cost,
+    refine_partitioning,
+)
+
+
+class TestRefinement:
+    def test_never_increases_cost(self):
+        partitioned = HashPartitioner(4).partition(lubm.generate(scale=1))
+        refined, report = refine_partitioning(partitioned, max_passes=2)
+        assert report.final_cost <= report.initial_cost
+        assert partitioning_cost(refined).cost == pytest.approx(report.final_cost)
+
+    def test_refined_partitioning_is_valid(self):
+        partitioned = HashPartitioner(3).partition(lubm.generate(scale=1))
+        refined, _ = refine_partitioning(partitioned, max_passes=1)
+        refined.validate()
+        assert refined.num_fragments == partitioned.num_fragments
+
+    def test_original_partitioning_untouched(self):
+        partitioned = HashPartitioner(3).partition(lubm.generate(scale=1))
+        before = partitioned.assignment
+        refine_partitioning(partitioned, max_passes=1)
+        assert partitioned.assignment == before
+
+    def test_strategy_name_marks_refinement(self):
+        partitioned = HashPartitioner(4).partition(lubm.generate(scale=1))
+        refined, report = refine_partitioning(partitioned)
+        if report.moves:
+            assert refined.strategy.endswith("+refined")
+        else:
+            assert refined.strategy == partitioned.strategy
+
+    def test_single_fragment_is_a_noop(self):
+        partitioned = HashPartitioner(1).partition(lubm.generate(scale=1))
+        refined, report = refine_partitioning(partitioned)
+        assert report.moves == 0
+        assert refined.assignment == partitioned.assignment
+
+    def test_random_partitionings_improve(self):
+        graph = random_graph(3, num_vertices=30, num_edges=60)
+        assignment = random_assignment(graph, seed=4, num_fragments=3)
+        partitioned = build_partitioned_graph(graph, assignment, num_fragments=3, strategy="random")
+        refined, report = refine_partitioning(partitioned, max_passes=3)
+        # Random assignments are far from optimal, so the local search should
+        # find at least one improving move.
+        assert report.moves > 0
+        assert report.final_cost < report.initial_cost
+        assert 0 <= report.improvement <= 1
+
+    def test_answers_unchanged_after_refinement(self):
+        from repro.core import GStoreDEngine
+        from repro.distributed import build_cluster
+
+        graph = lubm.generate(scale=1)
+        partitioned = HashPartitioner(4).partition(graph)
+        refined, _ = refine_partitioning(partitioned)
+        query = lubm.queries()["LQ1"]
+        original = GStoreDEngine(build_cluster(partitioned)).execute(query)
+        after = GStoreDEngine(build_cluster(refined)).execute(query)
+        assert original.results.same_solutions(after.results)

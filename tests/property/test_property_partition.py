@@ -1,0 +1,109 @@
+"""Property-based tests on partitioning invariants (Definition 1, cost model)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_assignment, random_graph
+from repro.partition import (
+    HashPartitioner,
+    MetisLikePartitioner,
+    SemanticHashPartitioner,
+    build_partitioned_graph,
+    crossing_edge_distribution,
+    crossing_edge_expectation,
+    partitioning_cost,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+fragment_counts = st.integers(min_value=1, max_value=6)
+graph_sizes = st.tuples(
+    st.integers(min_value=4, max_value=40), st.integers(min_value=4, max_value=80)
+)
+
+
+def build_random_partitioning(seed: int, num_fragments: int, sizes):
+    graph = random_graph(seed, num_vertices=sizes[0], num_edges=sizes[1])
+    assignment = random_assignment(graph, seed + 1, num_fragments)
+    return graph, build_partitioned_graph(graph, assignment, num_fragments=num_fragments)
+
+
+class TestDefinition1Invariants:
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_random_assignments_always_satisfy_definition1(self, seed, num_fragments, sizes):
+        _, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        partitioned.validate()
+
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_internal_edges_partition_non_crossing_edges(self, seed, num_fragments, sizes):
+        graph, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        internal = set()
+        for fragment in partitioned:
+            internal |= fragment.internal_edges
+        assert internal | partitioned.crossing_edges == set(graph)
+        assert not (internal & partitioned.crossing_edges)
+
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_crossing_edges_stored_exactly_twice(self, seed, num_fragments, sizes):
+        _, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        for edge in partitioned.crossing_edges:
+            holders = [f for f in partitioned if edge in f.crossing_edges]
+            assert len(holders) == 2
+
+    @given(seeds, graph_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_single_fragment_has_no_extended_vertices(self, seed, sizes):
+        _, partitioned = build_random_partitioning(seed, 1, sizes)
+        assert partitioned.crossing_edges == set()
+        assert partitioned.fragment(0).extended_vertices == set()
+
+
+class TestPartitionerProperties:
+    @given(seeds, st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_all_strategies_produce_valid_partitionings(self, seed, num_fragments):
+        graph = random_graph(seed, num_vertices=30, num_edges=60)
+        for partitioner in (
+            HashPartitioner(num_fragments),
+            SemanticHashPartitioner(num_fragments),
+            MetisLikePartitioner(num_fragments),
+        ):
+            partitioner.partition(graph).validate()
+
+
+class TestCostModelProperties:
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_is_a_probability_distribution(self, seed, num_fragments, sizes):
+        _, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        distribution = crossing_edge_distribution(partitioned)
+        if distribution:
+            assert math.isclose(sum(distribution.values()), 1.0, rel_tol=1e-9)
+            assert all(0 < p <= 1 for p in distribution.values())
+
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_is_nonnegative_and_consistent(self, seed, num_fragments, sizes):
+        _, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        cost = partitioning_cost(partitioned)
+        assert cost.expectation >= 0
+        assert cost.cost == cost.expectation * cost.largest_fragment_edges
+        assert cost.expectation <= len(partitioned.crossing_edges) or not partitioned.crossing_edges
+
+    @given(seeds, fragment_counts, graph_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_expectation_bounded_by_max_boundary_degree(self, seed, num_fragments, sizes):
+        _, partitioned = build_random_partitioning(seed, num_fragments, sizes)
+        crossing = partitioned.crossing_edges
+        if not crossing:
+            assert crossing_edge_expectation(partitioned) == 0
+            return
+        degrees = {}
+        for edge in crossing:
+            degrees[edge.subject] = degrees.get(edge.subject, 0) + 1
+            degrees[edge.object] = degrees.get(edge.object, 0) + 1
+        assert crossing_edge_expectation(partitioned) <= max(degrees.values())

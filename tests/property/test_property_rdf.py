@@ -1,0 +1,97 @@
+"""Property-based tests on the RDF substrate (terms, graphs, N-Triples)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Literal, RDFGraph, Triple, parse_string, parse_term, serialize
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_safe_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,:;!?'\"\\\n\t-_()", max_size=40
+)
+_local_names = st.text(alphabet=string.ascii_letters + string.digits + "_-", min_size=1, max_size=12)
+
+iris = st.builds(lambda name: IRI("http://example.org/" + name), _local_names)
+languages = st.sampled_from([None, "en", "de", "fr", "zh"])
+
+
+@st.composite
+def literals(draw):
+    text = draw(_safe_text)
+    language = draw(languages)
+    if language is None and draw(st.booleans()):
+        return Literal(text, datatype=draw(iris))
+    return Literal(text, language=language)
+
+
+nodes = st.one_of(iris, literals())
+triples = st.builds(Triple, iris, iris, nodes)
+graphs = st.builds(lambda ts: RDFGraph(ts), st.lists(triples, max_size=40))
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestTermRoundTrips:
+    @given(iris)
+    def test_iri_n3_roundtrip(self, iri):
+        assert parse_term(iri.n3()) == iri
+
+    @given(literals())
+    def test_literal_n3_roundtrip(self, literal):
+        assert parse_term(literal.n3()) == literal
+
+    @given(triples)
+    def test_triple_line_roundtrip(self, triple):
+        from repro.rdf import parse_line
+
+        assert parse_line(triple.n3()) == triple
+
+
+class TestGraphInvariants:
+    @given(graphs)
+    @settings(max_examples=50)
+    def test_serialization_roundtrip(self, graph):
+        assert parse_string(serialize(graph)) == graph
+
+    @given(graphs)
+    @settings(max_examples=50)
+    def test_len_equals_number_of_distinct_triples(self, graph):
+        assert len(graph) == len(set(graph))
+
+    @given(graphs)
+    @settings(max_examples=50)
+    def test_every_triple_is_indexed_consistently(self, graph):
+        for triple in graph:
+            assert triple in graph
+            assert triple in graph.out_edges(triple.subject)
+            assert triple in graph.in_edges(triple.object)
+            assert list(graph.triples(triple.subject, triple.predicate, triple.object)) == [triple]
+
+    @given(graphs)
+    @settings(max_examples=50)
+    def test_degree_sums_to_twice_edge_count(self, graph):
+        # Each triple contributes one out-degree and one in-degree.
+        assert sum(graph.degree(v) for v in graph.vertices) == 2 * len(graph)
+
+    @given(graphs, triples)
+    @settings(max_examples=50)
+    def test_add_then_discard_restores_graph(self, graph, triple):
+        already_there = triple in graph
+        graph_copy = graph.copy()
+        graph_copy.add(triple)
+        if not already_there:
+            graph_copy.discard(triple)
+        assert graph_copy == graph
+
+    @given(graphs)
+    @settings(max_examples=30)
+    def test_connected_components_partition_vertices(self, graph):
+        components = graph.connected_components()
+        union = set().union(*components) if components else set()
+        assert union == graph.vertices
+        assert sum(len(c) for c in components) == len(graph.vertices)

@@ -1,0 +1,62 @@
+"""Unit tests for namespaces and the prefix manager."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace, NamespaceManager, RDF_NS, RDF_TYPE
+
+
+class TestNamespace:
+    def test_term_concatenates(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("Person") == IRI("http://example.org/Person")
+
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.Person == IRI("http://example.org/Person")
+
+    def test_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns["has-part"] == IRI("http://example.org/has-part")
+
+    def test_contains(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("x") in ns
+        assert IRI("http://other.org/x") not in ns
+
+    def test_rdf_type_constant(self):
+        assert RDF_TYPE == RDF_NS.term("type")
+
+
+class TestNamespaceManager:
+    def test_resolve_prefixed_name(self):
+        manager = NamespaceManager({"ex": "http://example.org/"})
+        assert manager.resolve("ex:Person") == IRI("http://example.org/Person")
+
+    def test_resolve_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().resolve("nope:Person")
+
+    def test_resolve_requires_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().resolve("Person")
+
+    def test_shrink_picks_longest_matching_base(self):
+        manager = NamespaceManager(
+            {"ex": "http://example.org/", "people": "http://example.org/people/"}
+        )
+        assert manager.shrink(IRI("http://example.org/people/alice")) == "people:alice"
+
+    def test_shrink_falls_back_to_full_iri(self):
+        manager = NamespaceManager({"ex": "http://example.org/"})
+        assert manager.shrink(IRI("http://other.org/x")) == "<http://other.org/x>"
+
+    def test_with_defaults_contains_well_known_prefixes(self):
+        manager = NamespaceManager.with_defaults()
+        assert "rdf" in manager
+        assert "foaf" in manager
+        assert manager.resolve("rdf:type") == RDF_TYPE
+
+    def test_iteration_and_len(self):
+        manager = NamespaceManager({"a": "http://a/", "b": "http://b/"})
+        assert len(manager) == 2
+        assert dict(manager) == {"a": "http://a/", "b": "http://b/"}

@@ -1,0 +1,113 @@
+"""Unit tests for N-Triples parsing and serialization."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    BlankNode,
+    Literal,
+    NTriplesParseError,
+    RDFGraph,
+    Triple,
+    dump,
+    load,
+    parse_line,
+    parse_string,
+    parse_term,
+    serialize,
+)
+
+A = IRI("http://example.org/a")
+B = IRI("http://example.org/b")
+KNOWS = IRI("http://example.org/knows")
+
+
+class TestParseTerm:
+    def test_iri(self):
+        assert parse_term("<http://example.org/a>") == A
+
+    def test_blank_node(self):
+        assert parse_term("_:b42") == BlankNode("b42")
+
+    def test_plain_literal(self):
+        assert parse_term('"hello"') == Literal("hello")
+
+    def test_language_literal(self):
+        assert parse_term('"hello"@en') == Literal("hello", language="en")
+
+    def test_typed_literal(self):
+        term = parse_term('"5"^^<http://www.w3.org/2001/XMLSchema#integer>')
+        assert term == Literal("5", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))
+
+    def test_escaped_quote_inside_literal(self):
+        assert parse_term('"say \\"hi\\""') == Literal('say "hi"')
+
+    def test_invalid_term_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_term("not-a-term")
+
+
+class TestParseLine:
+    def test_simple_statement(self):
+        line = "<http://example.org/a> <http://example.org/knows> <http://example.org/b> ."
+        assert parse_line(line) == Triple(A, KNOWS, B)
+
+    def test_literal_object_with_spaces(self):
+        line = '<http://example.org/a> <http://example.org/name> "Alice In Chains"@en .'
+        triple = parse_line(line)
+        assert triple.object == Literal("Alice In Chains", language="en")
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_line("<http://x/a> <http://x/p> <http://x/b>")
+
+    def test_two_terms_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_line("<http://x/a> <http://x/p> .")
+
+    def test_literal_subject_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_line('"literal" <http://x/p> <http://x/b> .')
+
+    def test_literal_predicate_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_line('<http://x/a> "p" <http://x/b> .')
+
+
+class TestDocumentRoundTrip:
+    def test_parse_string_skips_comments_and_blank_lines(self):
+        text = "\n".join(
+            [
+                "# a comment",
+                "",
+                "<http://example.org/a> <http://example.org/knows> <http://example.org/b> .",
+            ]
+        )
+        graph = parse_string(text)
+        assert len(graph) == 1
+
+    def test_serialize_then_parse_roundtrip(self, example_graph):
+        text = serialize(example_graph)
+        reparsed = parse_string(text)
+        assert reparsed == example_graph
+
+    def test_serialize_is_sorted_and_deterministic(self, tiny_graph):
+        assert serialize(tiny_graph) == serialize(tiny_graph.copy())
+
+    def test_dump_and_load_file(self, tmp_path, tiny_graph):
+        path = tmp_path / "data.nt"
+        count = dump(tiny_graph, path)
+        assert count == len(tiny_graph)
+        assert load(path) == tiny_graph
+
+    def test_dump_and_load_stream(self, tiny_graph):
+        buffer = io.StringIO()
+        dump(tiny_graph, buffer)
+        buffer.seek(0)
+        assert load(buffer) == tiny_graph
+
+    def test_empty_serialization(self):
+        assert serialize([]) == ""
+        assert parse_string("") == RDFGraph()

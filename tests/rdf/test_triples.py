@@ -1,0 +1,53 @@
+"""Unit tests for triples and triple patterns."""
+
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
+
+A = IRI("http://example.org/a")
+B = IRI("http://example.org/b")
+KNOWS = IRI("http://example.org/knows")
+NAME = IRI("http://example.org/name")
+
+
+class TestTriple:
+    def test_n3_serialization(self):
+        triple = Triple(A, KNOWS, B)
+        assert triple.n3() == f"{A.n3()} {KNOWS.n3()} {B.n3()} ."
+
+    def test_iteration_order(self):
+        assert list(Triple(A, KNOWS, B)) == [A, KNOWS, B]
+
+    def test_as_tuple(self):
+        assert Triple(A, KNOWS, B).as_tuple() == (A, KNOWS, B)
+
+    def test_hashable(self):
+        assert len({Triple(A, KNOWS, B), Triple(A, KNOWS, B)}) == 1
+
+
+class TestTriplePattern:
+    def test_variables_in_order_without_duplicates(self):
+        pattern = TriplePattern(Variable("x"), KNOWS, Variable("x"))
+        assert pattern.variables == (Variable("x"),)
+
+    def test_variables_include_predicate_variables(self):
+        pattern = TriplePattern(Variable("x"), Variable("p"), Variable("y"))
+        assert pattern.variables == (Variable("x"), Variable("p"), Variable("y"))
+
+    def test_is_concrete(self):
+        assert TriplePattern(A, KNOWS, B).is_concrete
+        assert not TriplePattern(A, KNOWS, Variable("y")).is_concrete
+
+    def test_matches_with_variables(self):
+        pattern = TriplePattern(Variable("x"), KNOWS, Variable("y"))
+        assert pattern.matches(Triple(A, KNOWS, B))
+        assert not pattern.matches(Triple(A, NAME, Literal("Alice")))
+
+    def test_matches_with_constants(self):
+        pattern = TriplePattern(A, KNOWS, Variable("y"))
+        assert pattern.matches(Triple(A, KNOWS, B))
+        assert not pattern.matches(Triple(B, KNOWS, A))
+
+    def test_bind_substitutes_known_variables(self):
+        pattern = TriplePattern(Variable("x"), KNOWS, Variable("y"))
+        bound = pattern.bind({Variable("x"): A})
+        assert bound.subject == A
+        assert bound.object == Variable("y")

@@ -1,0 +1,87 @@
+"""Unit tests for solution mappings and result sets."""
+
+from repro.rdf import IRI, Literal, Variable
+from repro.sparql import Binding, ResultSet
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B, C = IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/c")
+
+
+class TestBinding:
+    def test_construction_from_mapping(self):
+        binding = Binding({X: A, Y: B})
+        assert binding[X] == A
+        assert binding.get(Z) is None
+        assert len(binding) == 2
+
+    def test_contains_and_variables(self):
+        binding = Binding({X: A})
+        assert X in binding
+        assert Z not in binding
+        assert binding.variables == {X}
+
+    def test_equality_and_hash(self):
+        assert Binding({X: A, Y: B}) == Binding({Y: B, X: A})
+        assert len({Binding({X: A}), Binding({X: A})}) == 1
+
+    def test_project(self):
+        binding = Binding({X: A, Y: B})
+        assert binding.project([X]) == Binding({X: A})
+        assert binding.project([Z]) == Binding({})
+
+    def test_compatible_with_shared_variable(self):
+        assert Binding({X: A}).compatible_with(Binding({X: A, Y: B}))
+        assert not Binding({X: A}).compatible_with(Binding({X: B}))
+
+    def test_compatible_with_disjoint_variables(self):
+        assert Binding({X: A}).compatible_with(Binding({Y: B}))
+
+    def test_merge(self):
+        merged = Binding({X: A}).merge(Binding({Y: B}))
+        assert merged == Binding({X: A, Y: B})
+
+
+class TestResultSet:
+    def test_add_extend_len(self):
+        results = ResultSet()
+        results.add(Binding({X: A}))
+        results.extend([Binding({X: B})])
+        assert len(results) == 2
+        assert bool(results)
+
+    def test_variables_inferred_from_bindings(self):
+        results = ResultSet([Binding({X: A, Y: B})])
+        assert set(results.variables) == {X, Y}
+
+    def test_project_with_distinct(self):
+        results = ResultSet([Binding({X: A, Y: B}), Binding({X: A, Y: C})])
+        projected = results.project([X], distinct=True)
+        assert len(projected) == 1
+
+    def test_project_without_distinct_keeps_duplicates(self):
+        results = ResultSet([Binding({X: A, Y: B}), Binding({X: A, Y: C})])
+        assert len(results.project([X])) == 2
+
+    def test_distinct(self):
+        results = ResultSet([Binding({X: A}), Binding({X: A})])
+        assert len(results.distinct()) == 1
+
+    def test_limit(self):
+        results = ResultSet([Binding({X: A}), Binding({X: B})])
+        assert len(results.limit(1)) == 1
+        assert len(results.limit(None)) == 2
+
+    def test_same_solutions_ignores_order(self):
+        left = ResultSet([Binding({X: A}), Binding({X: B})])
+        right = ResultSet([Binding({X: B}), Binding({X: A})])
+        assert left.same_solutions(right)
+
+    def test_same_solutions_detects_difference(self):
+        left = ResultSet([Binding({X: A})])
+        right = ResultSet([Binding({X: B})])
+        assert not left.same_solutions(right)
+
+    def test_to_table(self):
+        results = ResultSet([Binding({X: A, Y: Literal("v")})])
+        rows = results.to_table()
+        assert rows == [{"x": A.n3(), "y": '"v"'}]

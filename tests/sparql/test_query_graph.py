@@ -1,0 +1,139 @@
+"""Unit tests for the query graph (Definition 2)."""
+
+from repro.rdf import IRI, Literal, TriplePattern, Variable
+from repro.sparql import BasicGraphPattern, QueryGraph, traversal_order
+
+P = IRI("http://example.org/p")
+Q = IRI("http://example.org/q")
+R = IRI("http://example.org/r")
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def graph_of(*patterns) -> QueryGraph:
+    return QueryGraph(BasicGraphPattern(patterns))
+
+
+class TestStructure:
+    def test_vertices_in_first_appearance_order(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        assert graph.vertices == (X, Y, Z)
+        assert graph.vertex_index(Z) == 2
+        assert graph.vertex_at(1) == Y
+
+    def test_edges_keep_pattern_indexes(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        assert [edge.index for edge in graph.edges] == [0, 1]
+        assert graph.edge_at(1).predicate == Q
+
+    def test_parallel_edges_are_kept(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(X, Q, Y))
+        assert graph.num_edges == 2
+        assert graph.num_vertices == 2
+
+    def test_edges_of_and_neighbours(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        assert len(graph.edges_of(Y)) == 2
+        assert graph.neighbours(Y) == {X, Z}
+
+    def test_variables_excludes_constants(self):
+        constant = IRI("http://example.org/c")
+        graph = graph_of(TriplePattern(X, P, constant))
+        assert graph.variables == (X,)
+        assert graph.constant_vertices() == (constant,)
+
+    def test_contains(self):
+        graph = graph_of(TriplePattern(X, P, Y))
+        assert X in graph
+        assert Z not in graph
+
+    def test_degree(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(X, Q, Z))
+        assert graph.degree(X) == 2
+        assert graph.degree(Y) == 1
+
+
+class TestShapeClassification:
+    def test_single_edge_is_star(self):
+        assert graph_of(TriplePattern(X, P, Y)).is_star()
+
+    def test_subject_star(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(X, Q, Z), TriplePattern(X, R, W))
+        assert graph.is_star()
+        assert graph.classify_shape() == "star"
+
+    def test_object_star(self):
+        graph = graph_of(TriplePattern(Y, P, X), TriplePattern(Z, Q, X))
+        assert graph.is_star()
+
+    def test_path_is_not_star(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z), TriplePattern(Z, R, W))
+        assert not graph.is_star()
+        assert graph.classify_shape() == "path"
+
+    def test_tree_classification(self):
+        graph = graph_of(
+            TriplePattern(X, P, Y),
+            TriplePattern(Y, Q, Z),
+            TriplePattern(Y, R, W),
+            TriplePattern(X, R, Variable("v")),
+        )
+        assert graph.classify_shape() == "tree"
+
+    def test_cycle_classification(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z), TriplePattern(Z, R, X))
+        assert graph.classify_shape() == "cycle"
+
+    def test_complex_classification(self):
+        graph = graph_of(
+            TriplePattern(X, P, Y),
+            TriplePattern(Y, Q, Z),
+            TriplePattern(Z, R, X),
+            TriplePattern(X, R, W),
+            TriplePattern(W, Q, Y),
+        )
+        assert graph.classify_shape() == "complex"
+
+    def test_paper_example_is_not_star(self, example_query_graph):
+        assert not example_query_graph.is_star()
+
+    def test_selectivity_detection(self):
+        selective = graph_of(TriplePattern(X, P, Literal("Alice")))
+        unselective = graph_of(TriplePattern(X, P, Y))
+        assert selective.has_selective_pattern()
+        assert not unselective.has_selective_pattern()
+
+
+class TestConnectivityHelpers:
+    def test_is_connected(self):
+        assert graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z)).is_connected()
+        assert not graph_of(TriplePattern(X, P, Y), TriplePattern(Z, Q, W)).is_connected()
+
+    def test_weakly_connected_via_respects_allowed_set(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        assert graph.weakly_connected_via(X, Z, {X, Y, Z})
+        assert not graph.weakly_connected_via(X, Z, {X, Z})
+
+    def test_induced_edge_set(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        assert graph.induced_edge_set({X, Y}) == frozenset({0})
+        assert graph.induced_edge_set({X, Y, Z}) == frozenset({0, 1})
+
+
+class TestTraversalOrder:
+    def test_order_contains_every_vertex_once(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z))
+        order = traversal_order(graph)
+        assert sorted(order, key=str) == sorted(graph.vertices, key=str)
+
+    def test_order_is_connected(self):
+        graph = graph_of(TriplePattern(X, P, Y), TriplePattern(Y, Q, Z), TriplePattern(Z, R, W))
+        order = traversal_order(graph)
+        placed = {order[0]}
+        for vertex in order[1:]:
+            assert graph.neighbours(vertex) & placed
+            placed.add(vertex)
+
+    def test_constants_come_first(self):
+        constant = IRI("http://example.org/c")
+        graph = graph_of(TriplePattern(X, P, constant), TriplePattern(X, Q, Y))
+        assert traversal_order(graph)[0] == constant

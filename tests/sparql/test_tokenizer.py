@@ -1,0 +1,96 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql import SparqlSyntaxError, TokenType, tokenize
+
+
+def types(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert types("select WHERE Prefix")[:3] == [TokenType.KEYWORD] * 3
+        assert values("SELECT")[:1] == ["select"]
+
+    def test_iri_token(self):
+        tokens = tokenize("<http://example.org/a>")
+        assert tokens[0].type is TokenType.IRI
+        assert tokens[0].value == "http://example.org/a"
+
+    def test_prefixed_name_token(self):
+        tokens = tokenize("foaf:name")
+        assert tokens[0].type is TokenType.PREFIXED_NAME
+        assert tokens[0].value == "foaf:name"
+
+    def test_variable_tokens_with_question_mark_and_dollar(self):
+        tokens = tokenize("?x $y")
+        assert [t.type for t in tokens[:2]] == [TokenType.VARIABLE, TokenType.VARIABLE]
+        assert [t.value for t in tokens[:2]] == ["x", "y"]
+
+    def test_a_keyword_token(self):
+        assert types("a")[0] is TokenType.A
+
+    def test_punctuation(self):
+        assert types("{ } . ; , *")[:-1] == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.DOT,
+            TokenType.SEMICOLON,
+            TokenType.COMMA,
+            TokenType.STAR,
+        ]
+
+    def test_stream_ends_with_eof(self):
+        assert types("?x")[-1] is TokenType.EOF
+
+
+class TestLiterals:
+    def test_plain_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type is TokenType.LITERAL
+        assert tokens[0].value == '"hello world"'
+
+    def test_language_tagged_literal(self):
+        assert values('"hi"@en')[0] == '"hi"@en'
+
+    def test_typed_literal_with_iri(self):
+        raw = '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        assert values(raw)[0] == raw
+
+    def test_typed_literal_with_prefixed_name(self):
+        assert values('"5"^^xsd:integer')[0] == '"5"^^xsd:integer'
+
+    def test_numeric_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.LITERAL
+        assert tokens[0].value == "42"
+
+    def test_escaped_quote(self):
+        assert values('"a \\"quote\\""')[0] == '"a \\"quote\\""'
+
+
+class TestCommentsAndErrors:
+    def test_comments_are_skipped(self):
+        assert types("# a comment\n?x")[0] is TokenType.VARIABLE
+
+    def test_unterminated_iri_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("<http://example.org/a")
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize('"unterminated')
+
+    def test_empty_variable_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("? .")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("^")

@@ -1,0 +1,106 @@
+"""Unit tests for vertex signatures and the signature index."""
+
+from repro.rdf import IRI, Literal, Namespace, RDFGraph, Triple, TriplePattern, Variable
+from repro.sparql import BasicGraphPattern, QueryGraph
+from repro.store import SignatureIndex, VertexSignature
+
+EX = Namespace("http://example.org/")
+A, B, C = EX.term("a"), EX.term("b"), EX.term("c")
+KNOWS, LIKES = EX.term("knows"), EX.term("likes")
+
+
+def small_graph() -> RDFGraph:
+    graph = RDFGraph()
+    graph.add(Triple(A, KNOWS, B))
+    graph.add(Triple(B, LIKES, C))
+    graph.add(Triple(A, LIKES, C))
+    return graph
+
+
+class TestVertexSignature:
+    def test_covers_subset(self):
+        big = VertexSignature(0b1110)
+        small = VertexSignature(0b0110)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_union(self):
+        assert (VertexSignature(0b01) | VertexSignature(0b10)).bits == 0b11
+
+    def test_popcount(self):
+        assert VertexSignature(0b1011).popcount() == 3
+
+
+class TestSignatureIndex:
+    def test_every_vertex_has_a_signature(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        for vertex in graph.vertices:
+            assert index.signature_of(vertex).bits != 0
+
+    def test_unknown_vertex_has_empty_signature(self):
+        index = SignatureIndex(small_graph())
+        assert index.signature_of(EX.term("unknown")).bits == 0
+
+    def test_signatures_are_deterministic(self):
+        graph = small_graph()
+        first = SignatureIndex(graph)
+        second = SignatureIndex(graph)
+        for vertex in graph.vertices:
+            assert first.signature_of(vertex).bits == second.signature_of(vertex).bits
+
+    def test_data_signature_covers_query_signature_for_true_match(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        # Query: ?x knows ?y . ?x likes ?z — vertex A matches ?x.
+        query = QueryGraph(
+            BasicGraphPattern(
+                [
+                    TriplePattern(Variable("x"), KNOWS, Variable("y")),
+                    TriplePattern(Variable("x"), LIKES, Variable("z")),
+                ]
+            )
+        )
+        needed = index.query_signature(query, Variable("x"))
+        assert index.signature_of(A).covers(needed)
+        # Vertex B has no outgoing `knows`, so it must not cover the signature.
+        assert not index.signature_of(B).covers(needed)
+
+    def test_candidates_by_signature_never_miss_true_candidates(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        query = QueryGraph(
+            BasicGraphPattern([TriplePattern(Variable("x"), KNOWS, Variable("y"))])
+        )
+        candidates = index.candidates_by_signature(query, Variable("x"))
+        assert A in candidates
+
+    def test_candidates_for_constant_vertex(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        query = QueryGraph(BasicGraphPattern([TriplePattern(A, KNOWS, Variable("y"))]))
+        assert index.candidates_by_signature(query, A) == {A}
+
+    def test_skip_edges_relaxes_constraints(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        query = QueryGraph(
+            BasicGraphPattern(
+                [
+                    TriplePattern(Variable("x"), KNOWS, Variable("y")),
+                    TriplePattern(Variable("x"), LIKES, Variable("z")),
+                ]
+            )
+        )
+        full = index.query_signature(query, Variable("x"))
+        relaxed = index.query_signature(query, Variable("x"), skip_edges={0})
+        assert full.covers(relaxed)
+        assert full.bits != relaxed.bits
+
+    def test_variable_predicate_adds_no_constraint(self):
+        graph = small_graph()
+        index = SignatureIndex(graph)
+        query = QueryGraph(
+            BasicGraphPattern([TriplePattern(Variable("x"), Variable("p"), Variable("y"))])
+        )
+        assert index.query_signature(query, Variable("x")).bits == 0

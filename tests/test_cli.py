@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rdf import load as load_ntriples
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "lubm.nt"
+    exit_code = main(["generate", "LUBM", "--scale", "1", "--output", str(path)])
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(["generate", "YAGO2", "--output", "x.nt", "--scale", "2"])
+        assert args.dataset == "YAGO2"
+        assert args.scale == 2
+
+    def test_query_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--query", "SELECT * WHERE { ?s ?p ?o }"])
+
+
+class TestGenerate:
+    def test_generate_writes_ntriples(self, dataset_file):
+        graph = load_ntriples(dataset_file)
+        assert len(graph) > 500
+
+    def test_generate_respects_seed(self, tmp_path):
+        a, b = tmp_path / "a.nt", tmp_path / "b.nt"
+        main(["generate", "BTC", "--seed", "5", "--output", str(a)])
+        main(["generate", "BTC", "--seed", "5", "--output", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestPartition:
+    def test_partition_prints_cost(self, dataset_file, capsys):
+        exit_code = main(["partition", str(dataset_file), "--strategy", "hash", "--sites", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cost" in output
+        assert "crossing_edges" in output
+
+    def test_partition_saves_workspace(self, dataset_file, tmp_path, capsys):
+        workspace = tmp_path / "ws"
+        exit_code = main(
+            ["partition", str(dataset_file), "--sites", "3", "--workspace", str(workspace)]
+        )
+        assert exit_code == 0
+        assert (workspace / "graph.nt").exists()
+        assert (workspace / "partitioning.json").exists()
+
+    def test_partition_with_refinement(self, dataset_file, capsys):
+        exit_code = main(["partition", str(dataset_file), "--sites", "3", "--refine"])
+        assert exit_code == 0
+        assert "refinement:" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        exit_code = main(["partition", str(tmp_path / "missing.nt")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    QUERY = (
+        "PREFIX ub: <http://example.org/univ-bench#> "
+        "SELECT ?s ?d WHERE { ?s ub:memberOf ?d . ?d ub:subOrganizationOf ?u . }"
+    )
+
+    def test_query_over_adhoc_partitioning(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "solutions" in output
+
+    def test_query_over_saved_workspace(self, dataset_file, tmp_path, capsys):
+        workspace = tmp_path / "ws"
+        main(["partition", str(dataset_file), "--sites", "3", "--workspace", str(workspace)])
+        capsys.readouterr()
+        exit_code = main(["query", "--workspace", str(workspace), "--query", self.QUERY, "--show-stats"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "solutions" in output
+        assert "stage" in output
+
+    def test_query_from_file_with_baseline_engine(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "query.rq"
+        query_file.write_text(self.QUERY, encoding="utf-8")
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "3",
+                "--engine",
+                "dream",
+                "--query-file",
+                str(query_file),
+            ]
+        )
+        assert exit_code == 0
+        assert "DREAM" in capsys.readouterr().out
+
+    def test_all_engine_aliases_accepted(self, dataset_file, capsys):
+        for engine in ("basic", "la", "lo"):
+            exit_code = main(
+                ["query", "--data", str(dataset_file), "--sites", "2", "--engine", engine, "--query", self.QUERY]
+            )
+            assert exit_code == 0
+
+
+class TestExperiment:
+    def test_table4_experiment(self, capsys):
+        exit_code = main(["experiment", "table4", "--sites", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "semantic_hash" in output
+
+    def test_table2_experiment(self, capsys):
+        exit_code = main(["experiment", "table2", "--sites", "3"])
+        assert exit_code == 0
+        assert "YQ3" in capsys.readouterr().out

@@ -51,6 +51,7 @@ from .partition import (
     partitioning_cost,
     select_best_partitioning,
 )
+from .planner import GraphStatistics, QueryPlan, QueryPlanner, collect_statistics
 from .rdf import IRI, Literal, Namespace, NamespaceManager, RDFGraph, Triple, Variable
 from .sparql import Binding, ResultSet, SelectQuery, parse_query
 from .store import LocalMatcher, TripleStore, evaluate_centralized
@@ -79,6 +80,7 @@ __all__ = [
     "DistributedResult",
     "EngineConfig",
     "GStoreDEngine",
+    "GraphStatistics",
     "HashPartitioner",
     "IRI",
     "LECFeature",
@@ -90,6 +92,8 @@ __all__ = [
     "NamespaceManager",
     "OptimizationLevel",
     "PartitionedGraph",
+    "QueryPlan",
+    "QueryPlanner",
     "QueryStatistics",
     "RDFGraph",
     "ResultSet",
@@ -99,6 +103,7 @@ __all__ = [
     "TripleStore",
     "Variable",
     "build_cluster",
+    "collect_statistics",
     "evaluate_centralized",
     "make_partitioner",
     "parse_query",

@@ -10,6 +10,8 @@ from .harness import (
     partitioning_cost_table,
     partitioning_performance_series,
     per_stage_table,
+    planner_comparison_series,
+    planner_search_report,
     prepare_workload,
     run_query,
     scalability_series,
@@ -30,6 +32,8 @@ __all__ = [
     "partitioning_cost_table",
     "partitioning_performance_series",
     "per_stage_table",
+    "planner_comparison_series",
+    "planner_search_report",
     "prepare_workload",
     "print_experiment",
     "run_query",

@@ -23,8 +23,11 @@ from ..core.engine import (
     STAGE_ASSEMBLY,
     STAGE_CANDIDATES,
     STAGE_PARTIAL_EVAL,
+    STAGE_PLANNING,
     STAGE_PRUNING,
 )
+from ..planner.optimizer import QueryPlanner
+from ..store.matcher import LocalMatcher
 from ..distributed.cluster import Cluster, build_cluster
 from ..partition.cost_model import partitioning_cost
 from ..partition.fragment import PartitionedGraph
@@ -113,6 +116,10 @@ def stage_breakdown_row(result: DistributedResult) -> Dict[str, object]:
     return {
         "query": stats.query_name,
         "selective": stats.extra.get("selective", False),
+        "planning_time_ms": round(stats.find_stage(STAGE_PLANNING).parallel_time_ms, 3)
+        if stats.find_stage(STAGE_PLANNING)
+        else 0.0,
+        "plan_cache_hit": bool(stats.counter(STAGE_PLANNING, "plan_cache_hit")),
         "candidates_time_ms": round(stats.find_stage(STAGE_CANDIDATES).parallel_time_ms, 3)
         if stats.find_stage(STAGE_CANDIDATES)
         else 0.0,
@@ -176,6 +183,77 @@ def ablation_series(
             result = run_query(workload, name, config)
             series[config.label][name] = round(result.statistics.total_time_ms, 3)
     return series
+
+
+# ----------------------------------------------------------------------
+# Planner A/B: cost-based ordering vs the seed's static order
+# ----------------------------------------------------------------------
+def planner_comparison_series(
+    dataset: str,
+    query_names: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+    strategy: str = "hash",
+    num_sites: int = DEFAULT_NUM_SITES,
+) -> Dict[str, Dict[str, float]]:
+    """Distributed response time per query with the planner off vs on.
+
+    The planner-on engine is run twice per query and the second (plan-cache
+    warm) run is reported — the steady state of a hot query template.
+    """
+    workload = prepare_workload(dataset, scale, strategy, num_sites)
+    names = list(query_names) if query_names is not None else list(workload.queries)
+    planner_off = EngineConfig.full().with_options(use_planner=False)
+    planner_on = EngineConfig.full()
+    series: Dict[str, Dict[str, float]] = {"planner-off": {}, "planner-on": {}}
+    for name in names:
+        result = run_query(workload, name, planner_off)
+        series["planner-off"][name] = round(result.statistics.total_time_ms, 3)
+        run_query(workload, name, planner_on)  # warm the plan caches
+        result = run_query(workload, name, planner_on)
+        series["planner-on"][name] = round(result.statistics.total_time_ms, 3)
+    return series
+
+
+def planner_search_report(
+    dataset: str,
+    query_names: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Deterministic planner A/B on the centralized matcher.
+
+    Search steps (candidate assignments attempted) are a machine-independent
+    work measure, so these rows are stable across runs — the benchmark
+    assertions use them instead of noisy wall-clock times.  Each query runs
+    twice through the planner-backed matcher so the report also shows the
+    plan-cache hit rate a repeated workload would see.
+    """
+    spec = get_dataset(dataset)
+    graph = spec.generate(scale if scale is not None else spec.default_scale)
+    queries = spec.queries()
+    names = list(query_names) if query_names is not None else list(queries)
+    planner = QueryPlanner.from_graph(graph)
+    static_matcher = LocalMatcher(graph)
+    planned_matcher = LocalMatcher(graph, planner=planner)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        query = queries[name]
+        static_results = static_matcher.evaluate(query)
+        static_steps = static_matcher.search_steps
+        planned_matcher.evaluate(query)
+        planned_results = planned_matcher.evaluate(query)
+        planned_steps = planned_matcher.search_steps
+        assert planned_results.same_solutions(static_results)
+        rows.append(
+            {
+                "query": name,
+                "static_steps": static_steps,
+                "planned_steps": planned_steps,
+                "step_ratio": round(planned_steps / static_steps, 3) if static_steps else 1.0,
+                "results": len(static_results),
+                "plan_cache_hit_rate": round(planner.cache.hit_rate, 3),
+            }
+        )
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,8 @@ The CLI covers the workflow a downstream user actually runs:
 * ``repro query``     — execute a SPARQL BGP query (inline or from a file)
   over a partitioned workspace or an ad-hoc partitioning, with any engine
   configuration or baseline system;
+* ``repro explain``   — show the cost-based plan (statistics summary, chosen
+  vertex order, per-step estimates) for a query without executing it;
 * ``repro experiment`` — regenerate one of the paper's tables/figures.
 
 Every subcommand prints plain text so the tool composes with shell pipelines;
@@ -43,9 +45,10 @@ from .partition import (
     refine_partitioning,
     save_workspace,
 )
+from .planner import QueryPlanner
 from .rdf import dump as dump_ntriples
 from .rdf import load as load_ntriples
-from .sparql import parse_query
+from .sparql import QueryGraph, parse_query, traversal_order
 
 #: Engine aliases accepted by ``repro query --engine``.
 ENGINE_CHOICES = ("gstored", "basic", "la", "lo") + tuple(name.lower() for name in BASELINE_ENGINES)
@@ -91,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
     query_text.add_argument("--query-file", help="file containing the SPARQL query")
     query.add_argument("--show-stats", action="store_true", help="print per-stage statistics")
     query.add_argument("--limit", type=int, default=20, help="maximum solutions to print")
+
+    explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
+    explain_source = explain.add_mutually_exclusive_group(required=True)
+    explain_source.add_argument("--workspace", help="workspace directory written by 'repro partition'")
+    explain_source.add_argument("--data", help="N-Triples file to partition on the fly")
+    explain.add_argument("--strategy", choices=("hash", "semantic_hash", "metis"), default="hash")
+    explain.add_argument("--sites", type=int, default=6)
+    explain_text = explain.add_mutually_exclusive_group(required=True)
+    explain_text.add_argument("--query", help="SPARQL query text")
+    explain_text.add_argument("--query-file", help="file containing the SPARQL query")
 
     experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument(
@@ -145,11 +158,7 @@ def _load_cluster(args: argparse.Namespace):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     cluster = _load_cluster(args)
-    if args.query_file:
-        query_text = Path(args.query_file).read_text(encoding="utf-8")
-    else:
-        query_text = args.query
-    query = parse_query(query_text)
+    query = parse_query(_read_query_text(args))
 
     engine_name = args.engine.lower()
     if engine_name in _LEVELS:
@@ -168,6 +177,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"total: {result.statistics.total_time_ms:.2f} ms, "
             f"{result.statistics.total_shipment_kb:.2f} KB shipped"
         )
+    return 0
+
+
+def _read_query_text(args: argparse.Namespace) -> str:
+    if args.query_file:
+        return Path(args.query_file).read_text(encoding="utf-8")
+    return args.query
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    cluster = _load_cluster(args)
+    query = parse_query(_read_query_text(args))
+
+    statistics = cluster.graph_statistics()
+    planner = cluster.coordinator_planner()
+    print(f"statistics: {statistics.summary()} (aggregated over {cluster.num_sites} sites)")
+    components = query.bgp.connected_components()
+    for position, component in enumerate(components):
+        query_graph = QueryGraph(component)
+        if len(components) > 1:
+            print(f"-- component {position + 1}/{len(components)} --")
+        print(f"query shape: {query_graph.classify_shape()}")
+        print(planner.explain(query_graph))
+        static = " -> ".join(term.n3() for term in traversal_order(query_graph))
+        print(f"static (seed) order: {static}")
     return 0
 
 
@@ -212,6 +246,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "partition": _cmd_partition,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "experiment": _cmd_experiment,
 }
 

@@ -30,6 +30,7 @@ from .engine import (
     STAGE_ASSEMBLY,
     STAGE_CANDIDATES,
     STAGE_PARTIAL_EVAL,
+    STAGE_PLANNING,
     STAGE_PRUNING,
     execute_ablation,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "STAGE_ASSEMBLY",
     "STAGE_CANDIDATES",
     "STAGE_PARTIAL_EVAL",
+    "STAGE_PLANNING",
     "STAGE_PRUNING",
     "assemble_matches",
     "build_join_graph",

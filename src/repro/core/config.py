@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Dict
 
+from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from .candidate_exchange import DEFAULT_BIT_VECTOR_BITS
 
 
@@ -51,6 +52,14 @@ class EngineConfig:
     #: Re-validate every enumerated local partial match against Definition 5
     #: (slow; meant for tests and debugging).
     paranoid_validation: bool = False
+    #: Use the statistics-driven cost-based planner (:mod:`repro.planner`)
+    #: to order local matching and partial evaluation.  Orthogonal to the
+    #: paper's three optimizations: it changes how the search space is
+    #: walked, never which results exist, so it is on at every level (and in
+    #: particular in :meth:`full`).
+    use_planner: bool = True
+    #: Maximum number of cached plans per planner (coordinator and sites).
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
 
     # ------------------------------------------------------------------
     # Named configurations
@@ -117,6 +126,8 @@ class EngineConfig:
             "candidate_exchange": self.use_candidate_exchange,
             "star_shortcut": self.star_shortcut,
             "bit_vector_bits": self.bit_vector_bits,
+            "planner": self.use_planner,
+            "plan_cache_size": self.plan_cache_size,
         }
 
 

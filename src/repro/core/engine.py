@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..distributed.cluster import Cluster
 from ..distributed.network import COORDINATOR, StageTimer
 from ..distributed.stats import QueryStatistics
+from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.query_graph import QueryGraph
@@ -46,6 +47,7 @@ from .partial_match import LocalPartialMatch
 from .pruning import prune_features
 
 #: Stage names used consistently in statistics, tables and tests.
+STAGE_PLANNING = "planning"
 STAGE_CANDIDATES = "candidate_exchange"
 STAGE_PARTIAL_EVAL = "partial_evaluation"
 STAGE_PRUNING = "lec_pruning"
@@ -78,6 +80,18 @@ class GStoreDEngine:
         self.cluster = cluster
         self.config = config or EngineConfig.full()
         self.name = name or self.config.label
+        # Sites plan their local evaluations from their own fragment's
+        # statistics; the statistics and plan caches live on the stores, so
+        # repeated queries (and repeated engines over the same cluster)
+        # reuse them.  A planner-off engine must actively disable them —
+        # stores keep planners across engine instances, and an A/B
+        # comparison with a planner-on engine would otherwise be
+        # contaminated.
+        for site in self.cluster:
+            if self.config.use_planner:
+                site.enable_planner(self.config.plan_cache_size)
+            else:
+                site.disable_planner()
 
 
     def _charge_network(self, stage) -> None:
@@ -102,11 +116,17 @@ class GStoreDEngine:
         )
         query_graph = QueryGraph(query.bgp)
         timer = StageTimer()
+        if self.config.use_planner:
+            # Keep the stage present (and first) even on the star path,
+            # where the coordinator never plans — its zero-cost row mirrors
+            # how the star shortcut zeroes the other optimization stages.
+            stats.stage(STAGE_PLANNING)
 
         if self.config.star_shortcut and query_graph.is_star():
             bindings = self._evaluate_star(query, timer, stats)
         else:
-            bindings = self._evaluate_general(query, query_graph, timer, stats)
+            plan = self._plan_query(query_graph, timer, stats)
+            bindings = self._evaluate_general(query, query_graph, plan, timer, stats)
 
         results = ResultSet(bindings, query.variables)
         projected = results.project(query.effective_projection, distinct=True)
@@ -115,6 +135,37 @@ class GStoreDEngine:
         stats.extra["query_shape"] = query_graph.classify_shape()
         stats.extra["selective"] = query_graph.has_selective_pattern()
         return DistributedResult(limited, stats)
+
+    # ------------------------------------------------------------------
+    # Stage 0: cost-based planning
+    # ------------------------------------------------------------------
+    def _plan_query(
+        self,
+        query_graph: QueryGraph,
+        timer: StageTimer,
+        stats: QueryStatistics,
+    ) -> Optional[QueryPlan]:
+        """Plan the query on the coordinator and record the planning stage.
+
+        The coordinator plans over the cluster-wide aggregated statistics;
+        its plan drives the partial-evaluation edge order.  The sites'
+        matchers additionally plan their fragment-local work with their own
+        (already enabled) planners.
+        """
+        if not self.config.use_planner:
+            return None
+        stage = stats.stage(STAGE_PLANNING)
+        planner = self.cluster.coordinator_planner(self.config.plan_cache_size)
+        hits_before = planner.cache.hits
+        with timer.measure(STAGE_PLANNING, COORDINATOR):
+            plan = planner.plan_for(query_graph)
+        stage.coordinator_time_s += timer.elapsed(STAGE_PLANNING, COORDINATOR)
+        stage.add_counter("plan_cache_hit", 1 if planner.cache.hits > hits_before else 0)
+        stage.add_counter("planned_vertices", len(plan))
+        stats.extra["plan_source"] = plan.source
+        stats.extra["plan_estimated_cost"] = round(plan.estimated_cost, 1)
+        stats.extra["plan_cache_hit_rate"] = round(planner.cache.hit_rate, 3)
+        return plan
 
     # ------------------------------------------------------------------
     # Star shortcut
@@ -155,12 +206,13 @@ class GStoreDEngine:
         self,
         query: SelectQuery,
         query_graph: QueryGraph,
+        plan: Optional[QueryPlan],
         timer: StageTimer,
         stats: QueryStatistics,
     ) -> List[Binding]:
         candidate_filter = self._candidate_exchange(query_graph, timer, stats)
         local_bindings, lpms_by_site = self._partial_evaluation(
-            query, query_graph, candidate_filter, timer, stats
+            query, query_graph, plan, candidate_filter, timer, stats
         )
         surviving_by_site = self._lec_pruning(query_graph, lpms_by_site, timer, stats)
         crossing_bindings = self._assembly(query_graph, surviving_by_site, timer, stats)
@@ -208,6 +260,7 @@ class GStoreDEngine:
         self,
         query: SelectQuery,
         query_graph: QueryGraph,
+        plan: Optional[QueryPlan],
         candidate_filter: Optional[GlobalCandidateFilter],
         timer: StageTimer,
         stats: QueryStatistics,
@@ -216,6 +269,7 @@ class GStoreDEngine:
         local_bindings: List[Binding] = []
         lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
         filtered_branches = 0
+        edge_order = plan.edge_order if plan is not None else None
         for site in self.cluster:
             with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
                 local_results = site.local_evaluate(query)
@@ -223,6 +277,7 @@ class GStoreDEngine:
                     site.fragment,
                     graph=site.graph,
                     paranoid=self.config.paranoid_validation,
+                    edge_order=edge_order,
                 )
                 outcome = evaluator.evaluate(query_graph, candidate_filter=candidate_filter)
             local_bindings.extend(local_results)

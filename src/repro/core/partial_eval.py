@@ -28,7 +28,7 @@ says it is an internal candidate of *some* site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..partition.fragment import Fragment
 from ..rdf.graph import RDFGraph
@@ -61,12 +61,19 @@ class PartialEvaluator:
         fragment: Fragment,
         graph: Optional[RDFGraph] = None,
         paranoid: bool = False,
+        edge_order: Optional[Sequence[int]] = None,
     ) -> None:
         self._fragment = fragment
         self._graph = graph if graph is not None else fragment.to_graph()
         #: When True, every produced LPM is re-checked against Definition 5
         #: (slower; used by tests).
         self._paranoid = paranoid
+        #: Planner-supplied ranking of query-edge indexes (most selective
+        #: first).  Changes which forced edge each branch matches next —
+        #: never which LPMs exist — so selective edges fail branches early.
+        self._edge_priority: Optional[Dict[int, int]] = (
+            {index: rank for rank, index in enumerate(edge_order)} if edge_order is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -79,7 +86,7 @@ class PartialEvaluator:
         """Enumerate every local partial match of ``query`` in this fragment."""
         result = PartialEvaluationResult(fragment_id=self._fragment.fragment_id)
         seen: Set[Tuple[frozenset, frozenset]] = set()
-        for query_edge in query.edges:
+        for query_edge in self._seed_edges(query):
             for data_edge in self._compatible_crossing_edges(query_edge):
                 result.seeds_explored += 1
                 self._expand_seed(query, query_edge, data_edge, candidate_filter, seen, result)
@@ -88,6 +95,18 @@ class PartialEvaluator:
     # ------------------------------------------------------------------
     # Seeding
     # ------------------------------------------------------------------
+    def _edge_rank(self, edge_index: int) -> int:
+        """The planner rank of a query edge (its own index when unplanned)."""
+        if self._edge_priority is None:
+            return edge_index
+        return self._edge_priority.get(edge_index, edge_index)
+
+    def _seed_edges(self, query: QueryGraph) -> List[QueryEdge]:
+        """Query edges in seeding order (planner-ranked when available)."""
+        if self._edge_priority is None:
+            return list(query.edges)
+        return sorted(query.edges, key=lambda edge: (self._edge_rank(edge.index), edge.index))
+
     def _compatible_crossing_edges(self, query_edge: QueryEdge) -> Iterable[Triple]:
         """Crossing edges of the fragment that can match ``query_edge``."""
         for triple in self._fragment.crossing_edges:
@@ -169,14 +188,27 @@ class PartialEvaluator:
         mapping: Dict[PatternTerm, Node],
         edge_mapping: Dict[int, Triple],
     ) -> Optional[Tuple[QueryEdge, PatternTerm]]:
-        """The next (query edge, internally-mapped anchor) that condition 5 forces us to match."""
+        """The next (query edge, internally-mapped anchor) that condition 5 forces us to match.
+
+        All forced edges must be matched eventually, so any pick is correct;
+        with a planner-supplied edge order the most selective forced edge is
+        matched first so doomed branches die with the least work.
+        """
+        best: Optional[Tuple[QueryEdge, PatternTerm]] = None
+        best_rank: Optional[int] = None
         for vertex, value in mapping.items():
             if not self._fragment.is_internal(value):
                 continue
             for edge in query.edges_of(vertex):
-                if edge.index not in edge_mapping:
+                if edge.index in edge_mapping:
+                    continue
+                if self._edge_priority is None:
                     return edge, vertex
-        return None
+                rank = self._edge_rank(edge.index)
+                if best_rank is None or rank < best_rank:
+                    best = (edge, vertex)
+                    best_rank = rank
+        return best
 
     def _extension_edges(
         self,
@@ -276,7 +308,8 @@ def evaluate_fragment(
     graph: Optional[RDFGraph] = None,
     candidate_filter: Optional[GlobalCandidateFilter] = None,
     paranoid: bool = False,
+    edge_order: Optional[Sequence[int]] = None,
 ) -> PartialEvaluationResult:
     """Convenience wrapper: enumerate the LPMs of ``query`` over ``fragment``."""
-    evaluator = PartialEvaluator(fragment, graph=graph, paranoid=paranoid)
+    evaluator = PartialEvaluator(fragment, graph=graph, paranoid=paranoid, edge_order=edge_order)
     return evaluator.evaluate(query, candidate_filter=candidate_filter)

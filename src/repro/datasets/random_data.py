@@ -39,7 +39,12 @@ def random_graph(
     for i in range(1, len(vertices)):
         source = vertices[rng.randrange(i)]
         graph.add(Triple(source, rng.choice(predicates), vertices[i]))
-    while len(graph) < num_edges:
+    # Only V*(V-1)*P distinct non-loop triples exist; without this clamp a
+    # small-vertex / large-edge request would reject-sample forever.
+    target = min(num_edges, len(vertices) * (len(vertices) - 1) * len(predicates))
+    attempts_left = 200 * max(target, 1)
+    while len(graph) < target and attempts_left > 0:
+        attempts_left -= 1
         subject = rng.choice(vertices)
         obj = rng.choice(vertices)
         if subject == obj:

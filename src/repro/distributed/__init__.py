@@ -15,7 +15,7 @@ from .network import (
     estimate_size,
 )
 from .site import Site
-from .stats import QueryStatistics, StageStats
+from .stats import QueryStatistics, StageStats, aggregate_graph_statistics
 
 __all__ = [
     "COORDINATOR",
@@ -32,6 +32,7 @@ __all__ = [
     "Site",
     "StageStats",
     "StageTimer",
+    "aggregate_graph_statistics",
     "build_cluster",
     "estimate_size",
 ]

@@ -13,10 +13,14 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from ..partition.fragment import PartitionedGraph
+from ..planner.optimizer import QueryPlanner
+from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
+from ..planner.statistics import GraphStatistics
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node
 from .network import MessageBus, NetworkModel
 from .site import Site
+from .stats import aggregate_graph_statistics
 
 
 class Cluster:
@@ -28,6 +32,7 @@ class Cluster:
         self.bus = MessageBus()
         #: Cost model used by every engine to convert shipped bytes into time.
         self.network = network if network is not None else NetworkModel()
+        self._coordinator_planner: Optional[QueryPlanner] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -66,6 +71,24 @@ class Cluster:
     def site_of_vertex(self, vertex: Node) -> Site:
         """The site whose fragment owns ``vertex`` as an internal vertex."""
         return self._sites[self._partitioned.fragment_of(vertex)]
+
+    def graph_statistics(self) -> GraphStatistics:
+        """Cluster-wide planner statistics, aggregated from the per-site
+        summaries (the coordinator's global view of the data distribution)."""
+        return aggregate_graph_statistics(site.graph_statistics() for site in self._sites)
+
+    def coordinator_planner(self, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> QueryPlanner:
+        """The coordinator-side planner over the aggregated statistics.
+
+        Owned by the cluster (not the engine) so its plan cache survives
+        across queries and across engine instances — repeated query shapes
+        skip optimization no matter how the caller drives the engine.
+        """
+        if self._coordinator_planner is None or self._coordinator_planner.cache.maxsize != plan_cache_size:
+            self._coordinator_planner = QueryPlanner(
+                self.graph_statistics(), cache_size=plan_cache_size
+            )
+        return self._coordinator_planner
 
     # ------------------------------------------------------------------
     # Bookkeeping

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from ..partition.fragment import Fragment
+from ..planner.optimizer import QueryPlanner
+from ..planner.statistics import GraphStatistics
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node, PatternTerm
 from ..sparql.algebra import SelectQuery
@@ -49,6 +51,25 @@ class Site:
 
     def is_internal(self, vertex: Node) -> bool:
         return self.fragment.is_internal(vertex)
+
+    # ------------------------------------------------------------------
+    # Planner support
+    # ------------------------------------------------------------------
+    def graph_statistics(self) -> GraphStatistics:
+        """This fragment's planner statistics (cached by the local store)."""
+        return self.store.statistics
+
+    @property
+    def planner(self) -> Optional[QueryPlanner]:
+        return self.store.planner
+
+    def enable_planner(self, plan_cache_size: Optional[int] = None) -> QueryPlanner:
+        """Turn on cost-based planning for this site's local evaluation."""
+        return self.store.enable_planner(plan_cache_size)
+
+    def disable_planner(self) -> None:
+        """Fall back to the static traversal order for local evaluation."""
+        self.store.disable_planner()
 
     # ------------------------------------------------------------------
     # Local operations used by the engines

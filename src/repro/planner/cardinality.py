@@ -1,0 +1,113 @@
+"""Cardinality estimation for triple patterns and joined query edges.
+
+A thin System-R-style model over :class:`~repro.planner.statistics.GraphStatistics`:
+
+* a triple pattern's cardinality starts from the predicate's triple count
+  (or the whole graph for a variable predicate) and is divided by the
+  distinct subject/object count for every constant endpoint;
+* a query vertex's candidate cardinality is the minimum, over its incident
+  edges, of the distinct-value count on the vertex's side of the edge;
+* extending a partial match across an edge from a bound endpoint multiplies
+  the intermediate result by the edge's expected fan-out
+  (``triples(p) / distinct values on the bound side``).
+
+All estimates are floats >= :data:`MIN_CARDINALITY` so products never
+collapse to zero and orderings stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdf.terms import Variable
+from ..sparql.query_graph import QueryEdge, QueryGraph
+from .statistics import GraphStatistics
+
+#: Estimates never drop below this, so that products and ratios stay finite.
+MIN_CARDINALITY = 0.1
+
+
+class CardinalityEstimator:
+    """Estimate pattern/vertex/join cardinalities from graph statistics."""
+
+    def __init__(self, statistics: GraphStatistics) -> None:
+        self._stats = statistics
+
+    @property
+    def statistics(self) -> GraphStatistics:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Triple patterns
+    # ------------------------------------------------------------------
+    def pattern_cardinality(self, edge: QueryEdge) -> float:
+        """Estimated number of data triples matching ``edge``'s pattern."""
+        if isinstance(edge.predicate, Variable):
+            base = float(self._stats.num_triples)
+            distinct_subjects = float(max(1, self._stats.num_vertices))
+            distinct_objects = float(max(1, self._stats.num_vertices))
+        else:
+            base = float(self._stats.predicate_count(edge.predicate))
+            distinct_subjects = float(max(1, self._stats.distinct_subjects(edge.predicate)))
+            distinct_objects = float(max(1, self._stats.distinct_objects(edge.predicate)))
+        if base == 0.0:
+            return MIN_CARDINALITY
+        estimate = base
+        if not isinstance(edge.subject, Variable):
+            estimate /= distinct_subjects
+        if not isinstance(edge.object, Variable):
+            estimate /= distinct_objects
+        return max(estimate, MIN_CARDINALITY)
+
+    # ------------------------------------------------------------------
+    # Query vertices
+    # ------------------------------------------------------------------
+    def vertex_cardinality(self, query: QueryGraph, vertex) -> float:
+        """Estimated number of candidate data vertices for ``vertex``.
+
+        Constants match at most one data vertex.  For a variable, every
+        incident edge independently bounds the candidates by the number of
+        distinct values appearing on the vertex's side of that edge; the
+        tightest bound wins.
+        """
+        if not isinstance(vertex, Variable):
+            return 1.0
+        best: Optional[float] = None
+        for edge in query.edges_of(vertex):
+            bound = self._side_distinct(edge, vertex)
+            # A constant on the far side makes the edge much more selective:
+            # at most fan-out-many candidates survive, estimated by the
+            # pattern cardinality itself.
+            far = edge.other_endpoint(vertex) if vertex in edge.endpoints else None
+            if far is not None and not isinstance(far, Variable):
+                bound = min(bound, self.pattern_cardinality(edge))
+            if best is None or bound < best:
+                best = bound
+        if best is None:
+            best = float(max(1, self._stats.num_vertices))
+        return max(best, MIN_CARDINALITY)
+
+    def _side_distinct(self, edge: QueryEdge, vertex) -> float:
+        """Distinct data values on ``vertex``'s side of ``edge``."""
+        if isinstance(edge.predicate, Variable):
+            return float(max(1, self._stats.num_vertices))
+        if edge.subject == vertex:
+            return float(max(1, self._stats.distinct_subjects(edge.predicate)))
+        return float(max(1, self._stats.distinct_objects(edge.predicate)))
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def expansion_factor(self, edge: QueryEdge, bound_vertex) -> float:
+        """Expected matches of ``edge`` per binding of ``bound_vertex``.
+
+        The classic fan-out estimate ``T(p) / d(bound side)``: how many data
+        edges with the right label leave one already-bound data vertex.
+        """
+        cardinality = self.pattern_cardinality(edge)
+        distinct = self._side_distinct(edge, bound_vertex)
+        return max(cardinality / distinct, MIN_CARDINALITY)
+
+    def join_cardinality(self, left_cardinality: float, edge: QueryEdge, bound_vertex) -> float:
+        """Estimated intermediate-result size after extending across ``edge``."""
+        return max(left_cardinality * self.expansion_factor(edge, bound_vertex), MIN_CARDINALITY)

@@ -1,0 +1,200 @@
+"""Graph statistics for cost-based query planning.
+
+The planner never looks at the data graph directly: everything it knows is
+summarized here, once per :class:`~repro.store.TripleStore` (the store caches
+the summary and invalidates it on mutation).  The summary is deliberately
+cheap — one pass over the triples — and deliberately small, because in the
+distributed setting every site ships its statistics to the coordinator,
+which aggregates them (see :func:`merge_statistics` and
+:meth:`~repro.distributed.Cluster.graph_statistics`).
+
+Collected per graph/fragment:
+
+* total triple and vertex counts,
+* per-predicate triple counts and distinct subject/object counts (the
+  classic ``T(p) / d_s(p) / d_o(p)`` summaries every System-R-style
+  cardinality model is built from), and
+* a log-bucketed vertex-degree histogram (used to reason about expected
+  fan-out when no predicate information helps).
+
+Everything serializes to plain JSON-able dictionaries so statistics can be
+stored alongside a partitioned workspace or shipped between sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import IRI
+
+
+@dataclass
+class PredicateStatistics:
+    """Summary of all triples sharing one predicate."""
+
+    count: int = 0
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "PredicateStatistics":
+        return cls(
+            count=int(data.get("count", 0)),
+            distinct_subjects=int(data.get("distinct_subjects", 0)),
+            distinct_objects=int(data.get("distinct_objects", 0)),
+        )
+
+
+def degree_bucket(degree: int) -> int:
+    """The histogram bucket of a vertex degree: ``bit_length`` (log2) buckets.
+
+    Bucket ``b`` holds degrees in ``[2**(b-1), 2**b - 1]``; bucket 0 is
+    unused because every counted vertex has degree >= 1.
+    """
+    return int(degree).bit_length()
+
+
+@dataclass
+class GraphStatistics:
+    """One graph's (or fragment's) planner-facing summary."""
+
+    num_triples: int = 0
+    num_vertices: int = 0
+    predicates: Dict[IRI, PredicateStatistics] = field(default_factory=dict)
+    #: ``degree_bucket(degree) -> number of vertices`` histogram.
+    degree_histogram: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookups used by the cardinality estimator
+    # ------------------------------------------------------------------
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def predicate_count(self, predicate: IRI) -> int:
+        """Number of triples labelled ``predicate`` (0 when unseen)."""
+        stats = self.predicates.get(predicate)
+        return stats.count if stats is not None else 0
+
+    def distinct_subjects(self, predicate: IRI) -> int:
+        stats = self.predicates.get(predicate)
+        return stats.distinct_subjects if stats is not None else 0
+
+    def distinct_objects(self, predicate: IRI) -> int:
+        stats = self.predicates.get(predicate)
+        return stats.distinct_objects if stats is not None else 0
+
+    def average_degree(self) -> float:
+        """Mean vertex degree, estimated from the histogram buckets."""
+        total_vertices = sum(self.degree_histogram.values())
+        if not total_vertices:
+            return 0.0
+        # Use each bucket's geometric midpoint as the representative degree.
+        weighted = 0.0
+        for bucket, vertices in self.degree_histogram.items():
+            low = 2 ** (bucket - 1) if bucket > 0 else 0
+            high = 2**bucket - 1 if bucket > 0 else 0
+            weighted += vertices * ((low + high) / 2.0 or 1.0)
+        return weighted / total_vertices
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_triples == 0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-able rendering (predicates keyed by their IRI string)."""
+        return {
+            "num_triples": self.num_triples,
+            "num_vertices": self.num_vertices,
+            "predicates": {
+                predicate.value: stats.as_dict() for predicate, stats in self.predicates.items()
+            },
+            "degree_histogram": {str(bucket): count for bucket, count in self.degree_histogram.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GraphStatistics":
+        predicates = {
+            IRI(value): PredicateStatistics.from_dict(stats)
+            for value, stats in dict(data.get("predicates", {})).items()
+        }
+        histogram = {
+            int(bucket): int(count)
+            for bucket, count in dict(data.get("degree_histogram", {})).items()
+        }
+        return cls(
+            num_triples=int(data.get("num_triples", 0)),
+            num_vertices=int(data.get("num_vertices", 0)),
+            predicates=predicates,
+            degree_histogram=histogram,
+        )
+
+    def summary(self) -> str:
+        """One-line human rendering used by ``repro explain``."""
+        return (
+            f"{self.num_triples} triples, {self.num_vertices} vertices, "
+            f"{self.num_predicates} predicates, avg degree {self.average_degree():.1f}"
+        )
+
+
+def collect_statistics(graph: RDFGraph) -> GraphStatistics:
+    """Summarize ``graph`` in one pass over its triples."""
+    stats = GraphStatistics(num_triples=len(graph))
+    subjects: Dict[IRI, set] = {}
+    objects: Dict[IRI, set] = {}
+    for triple in graph:
+        per_predicate = stats.predicates.get(triple.predicate)
+        if per_predicate is None:
+            per_predicate = PredicateStatistics()
+            stats.predicates[triple.predicate] = per_predicate
+            subjects[triple.predicate] = set()
+            objects[triple.predicate] = set()
+        per_predicate.count += 1
+        subjects[triple.predicate].add(triple.subject)
+        objects[triple.predicate].add(triple.object)
+    for predicate, per_predicate in stats.predicates.items():
+        per_predicate.distinct_subjects = len(subjects[predicate])
+        per_predicate.distinct_objects = len(objects[predicate])
+    vertices = graph.vertices
+    stats.num_vertices = len(vertices)
+    for vertex in vertices:
+        bucket = degree_bucket(graph.degree(vertex))
+        stats.degree_histogram[bucket] = stats.degree_histogram.get(bucket, 0) + 1
+    return stats
+
+
+def merge_statistics(parts: Iterable[GraphStatistics]) -> GraphStatistics:
+    """Aggregate per-site statistics into one cluster-wide summary.
+
+    Counts add exactly.  Distinct subject/object counts and the vertex count
+    also add, which over-counts vertices replicated on several fragments —
+    an upper bound, which is the safe direction for a cost model (it can only
+    make the planner *more* pessimistic about unselective predicates).
+    """
+    merged = GraphStatistics()
+    for part in parts:
+        merged.num_triples += part.num_triples
+        merged.num_vertices += part.num_vertices
+        for predicate, stats in part.predicates.items():
+            into = merged.predicates.get(predicate)
+            if into is None:
+                into = PredicateStatistics()
+                merged.predicates[predicate] = into
+            into.count += stats.count
+            into.distinct_subjects += stats.distinct_subjects
+            into.distinct_objects += stats.distinct_objects
+        for bucket, count in part.degree_histogram.items():
+            merged.degree_histogram[bucket] = merged.degree_histogram.get(bucket, 0) + count
+    return merged

@@ -14,8 +14,9 @@ isomorphism), matching SPARQL semantics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..planner.optimizer import QueryPlanner
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import IRI, Node, PatternTerm, Variable
 from ..sparql.algebra import SelectQuery
@@ -25,12 +26,33 @@ from .candidates import compute_candidates
 from .signatures import SignatureIndex
 
 
+def _candidate_sort_key(node: Node) -> Tuple[str, str]:
+    """A total order on data vertices: by term type, then surface syntax.
+
+    Candidate pools are sets, so without an explicit order the backtracking
+    search visits data vertices in hash order — correct but irreproducible,
+    which makes planner A/B comparisons noisy.  Sorting makes every run of
+    the matcher deterministic.
+    """
+    return (type(node).__name__, node.n3())
+
+
 class LocalMatcher:
     """Find all matches of BGP queries over a single in-memory RDF graph."""
 
-    def __init__(self, graph: RDFGraph, signature_index: Optional[SignatureIndex] = None) -> None:
+    def __init__(
+        self,
+        graph: RDFGraph,
+        signature_index: Optional[SignatureIndex] = None,
+        planner: Optional[QueryPlanner] = None,
+    ) -> None:
         self._graph = graph
         self._signatures = signature_index or SignatureIndex(graph)
+        self._planner = planner
+        #: Number of candidate assignments attempted by the most recent
+        #: ``find_matches``/``evaluate`` call (a deterministic work measure
+        #: used by the planner benchmarks).
+        self.search_steps = 0
 
     @property
     def graph(self) -> RDFGraph:
@@ -39,6 +61,10 @@ class LocalMatcher:
     @property
     def signatures(self) -> SignatureIndex:
         return self._signatures
+
+    @property
+    def planner(self) -> Optional[QueryPlanner]:
+        return self._planner
 
     # ------------------------------------------------------------------
     # Public API
@@ -54,9 +80,12 @@ class LocalMatcher:
         if not components:
             return ResultSet([], query.effective_projection)
         partial: List[List[Dict[PatternTerm, Node]]] = []
+        steps = 0
         for component in components:
             graph = QueryGraph(component)
             partial.append(list(self.find_matches(graph)))
+            steps += self.search_steps
+        self.search_steps = steps
         combined = partial[0]
         for extra in partial[1:]:
             combined = [{**left, **right} for left in combined for right in extra]
@@ -65,13 +94,30 @@ class LocalMatcher:
         projected = results.project(query.effective_projection, distinct=query.distinct)
         return projected.limit(query.limit)
 
-    def find_matches(self, query: QueryGraph) -> Iterator[Dict[PatternTerm, Node]]:
-        """Yield complete assignments (query vertex → data vertex) for ``query``."""
+    def find_matches(
+        self,
+        query: QueryGraph,
+        order: Optional[Sequence[PatternTerm]] = None,
+    ) -> Iterator[Dict[PatternTerm, Node]]:
+        """Yield complete assignments (query vertex → data vertex) for ``query``.
+
+        The vertex visit order is, in priority: the explicit ``order``
+        argument, the attached planner's cost-based order, or the seed's
+        static :func:`traversal_order`.  Any permutation of the query
+        vertices yields the same matches — the order only changes how much
+        of the search space is explored before failures are detected.
+        """
+        self.search_steps = 0
         candidates = compute_candidates(self._graph, query, self._signatures)
         if any(not candidates[vertex] for vertex in query.vertices):
             return
-        order = traversal_order(query)
-        yield from self._extend({}, order, 0, query, candidates)
+        if order is not None:
+            chosen = list(order)
+        elif self._planner is not None:
+            chosen = self._planner.order_for(query)
+        else:
+            chosen = traversal_order(query)
+        yield from self._extend({}, chosen, 0, query, candidates)
 
     def count_matches(self, query: QueryGraph) -> int:
         """Number of complete matches (used by benchmarks)."""
@@ -93,6 +139,7 @@ class LocalMatcher:
             return
         vertex = order[depth]
         for candidate in self._ordered_candidates(vertex, assignment, query, candidates):
+            self.search_steps += 1
             if not self._consistent(vertex, candidate, assignment, query):
                 continue
             assignment[vertex] = candidate
@@ -129,8 +176,8 @@ class LocalMatcher:
             if not narrowed:
                 return iter(())
         if narrowed is None:
-            return iter(pool)
-        return iter(narrowed & pool)
+            return iter(sorted(pool, key=_candidate_sort_key))
+        return iter(sorted(narrowed & pool, key=_candidate_sort_key))
 
     def _consistent(
         self,
@@ -166,6 +213,10 @@ class LocalMatcher:
         return Binding({vertex: value for vertex, value in assignment.items() if isinstance(vertex, Variable)})
 
 
-def evaluate_centralized(graph: RDFGraph, query: SelectQuery) -> ResultSet:
+def evaluate_centralized(
+    graph: RDFGraph,
+    query: SelectQuery,
+    planner: Optional[QueryPlanner] = None,
+) -> ResultSet:
     """One-shot convenience wrapper: evaluate ``query`` over ``graph`` centrally."""
-    return LocalMatcher(graph).evaluate(query)
+    return LocalMatcher(graph, planner=planner).evaluate(query)

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+from ..planner.optimizer import QueryPlanner
+from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
+from ..planner.statistics import GraphStatistics, collect_statistics
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node, PatternTerm
 from ..rdf.triples import Triple
@@ -30,6 +33,8 @@ class TripleStore:
         graph: Optional[RDFGraph] = None,
         name: str = "",
         signature_bits: int = DEFAULT_SIGNATURE_BITS,
+        use_planner: bool = False,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
         self._graph = graph if graph is not None else RDFGraph(name=name)
         if name:
@@ -37,6 +42,10 @@ class TripleStore:
         self._signature_bits = signature_bits
         self._signatures: Optional[SignatureIndex] = None
         self._matcher: Optional[LocalMatcher] = None
+        self._statistics: Optional[GraphStatistics] = None
+        self._use_planner = use_planner
+        self._plan_cache_size = plan_cache_size
+        self._planner: Optional[QueryPlanner] = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -65,6 +74,8 @@ class TripleStore:
     def _invalidate(self) -> None:
         self._signatures = None
         self._matcher = None
+        self._statistics = None
+        self._planner = None
 
     def __len__(self) -> int:
         return len(self._graph)
@@ -80,9 +91,50 @@ class TripleStore:
         return self._signatures
 
     @property
+    def statistics(self) -> GraphStatistics:
+        """Planner statistics for this store's graph (computed once, lazily,
+        and invalidated whenever the graph changes)."""
+        if self._statistics is None:
+            self._statistics = collect_statistics(self._graph)
+        return self._statistics
+
+    @property
+    def planner(self) -> Optional[QueryPlanner]:
+        """The store's query planner, or ``None`` while planning is disabled."""
+        if not self._use_planner:
+            return None
+        if self._planner is None:
+            self._planner = QueryPlanner(self.statistics, cache_size=self._plan_cache_size)
+        return self._planner
+
+    def enable_planner(self, plan_cache_size: Optional[int] = None) -> QueryPlanner:
+        """Turn on cost-based planning for this store's matcher."""
+        if plan_cache_size is not None and plan_cache_size != self._plan_cache_size:
+            self._plan_cache_size = plan_cache_size
+            self._planner = None
+            self._matcher = None
+        if not self._use_planner:
+            self._use_planner = True
+            self._matcher = None
+        planner = self.planner
+        assert planner is not None
+        return planner
+
+    def disable_planner(self) -> None:
+        """Fall back to the static traversal order.
+
+        The planner object (and its warm plan cache) is kept so a later
+        ``enable_planner`` resumes where it left off; only the matcher stops
+        consulting it.
+        """
+        if self._use_planner:
+            self._use_planner = False
+            self._matcher = None
+
+    @property
     def matcher(self) -> LocalMatcher:
         if self._matcher is None:
-            self._matcher = LocalMatcher(self._graph, self.signatures)
+            self._matcher = LocalMatcher(self._graph, self.signatures, planner=self.planner)
         return self._matcher
 
     # ------------------------------------------------------------------

@@ -1,10 +1,25 @@
-"""Shared fixtures for the whole test-suite."""
+"""Shared fixtures and Hypothesis configuration for the whole test-suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datasets import btc, lubm, yago
+
+# Shared Hypothesis profiles.  ``default`` bounds example counts so the fast
+# suite stays fast even for tests without an explicit ``@settings``;
+# ``thorough`` is for local deep runs (HYPOTHESIS_PROFILE=thorough).
+settings.register_profile(
+    "default",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.datasets.paper_example import (
     build_example_graph,
     build_example_partitioning,

@@ -9,6 +9,7 @@ from repro.core import (
     STAGE_ASSEMBLY,
     STAGE_CANDIDATES,
     STAGE_PARTIAL_EVAL,
+    STAGE_PLANNING,
     STAGE_PRUNING,
     execute_ablation,
 )
@@ -32,7 +33,13 @@ class TestPipelineStages:
         cluster.reset_network()
         result = GStoreDEngine(cluster, EngineConfig.full()).execute(queries["LQ1"], query_name="LQ1")
         names = [stage.name for stage in result.statistics.stages]
-        assert names == [STAGE_CANDIDATES, STAGE_PARTIAL_EVAL, STAGE_PRUNING, STAGE_ASSEMBLY]
+        assert names == [
+            STAGE_PLANNING,
+            STAGE_CANDIDATES,
+            STAGE_PARTIAL_EVAL,
+            STAGE_PRUNING,
+            STAGE_ASSEMBLY,
+        ]
 
     def test_star_query_skips_optimizations(self, lubm_setup):
         graph, cluster, queries = lubm_setup

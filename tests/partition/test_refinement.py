@@ -12,6 +12,7 @@ from repro.partition import (
 
 
 class TestRefinement:
+    @pytest.mark.slow
     def test_never_increases_cost(self):
         partitioned = HashPartitioner(4).partition(lubm.generate(scale=1))
         refined, report = refine_partitioning(partitioned, max_passes=2)
@@ -30,6 +31,7 @@ class TestRefinement:
         refine_partitioning(partitioned, max_passes=1)
         assert partitioned.assignment == before
 
+    @pytest.mark.slow
     def test_strategy_name_marks_refinement(self):
         partitioned = HashPartitioner(4).partition(lubm.generate(scale=1))
         refined, report = refine_partitioning(partitioned)
@@ -55,6 +57,7 @@ class TestRefinement:
         assert report.final_cost < report.initial_cost
         assert 0 <= report.improvement <= 1
 
+    @pytest.mark.slow
     def test_answers_unchanged_after_refinement(self):
         from repro.core import GStoreDEngine
         from repro.distributed import build_cluster

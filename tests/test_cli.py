@@ -58,6 +58,7 @@ class TestPartition:
         assert (workspace / "graph.nt").exists()
         assert (workspace / "partitioning.json").exists()
 
+    @pytest.mark.slow
     def test_partition_with_refinement(self, dataset_file, capsys):
         exit_code = main(["partition", str(dataset_file), "--sites", "3", "--refine"])
         assert exit_code == 0
@@ -118,6 +119,37 @@ class TestQuery:
                 ["query", "--data", str(dataset_file), "--sites", "2", "--engine", engine, "--query", self.QUERY]
             )
             assert exit_code == 0
+
+
+class TestExplain:
+    QUERY = (
+        "PREFIX ub: <http://example.org/univ-bench#> "
+        "SELECT ?s ?d WHERE { ?s ub:memberOf ?d . ?d ub:subOrganizationOf ?u . }"
+    )
+
+    def test_explain_prints_plan(self, dataset_file, capsys):
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "statistics:" in output
+        assert "vertex order:" in output
+        assert "plan source: statistics" in output
+        assert "static (seed) order:" in output
+
+    def test_explain_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--query", "SELECT * WHERE { ?s ?p ?o }"])
+
+    def test_explain_from_query_file(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "query.rq"
+        query_file.write_text(self.QUERY, encoding="utf-8")
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "2", "--query-file", str(query_file)]
+        )
+        assert exit_code == 0
+        assert "edge order:" in capsys.readouterr().out
 
 
 class TestExperiment:

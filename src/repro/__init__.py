@@ -9,6 +9,8 @@ The package provides, end to end:
   (:mod:`repro.partition`),
 * a simulated distributed runtime with data-shipment accounting
   (:mod:`repro.distributed`),
+* a pluggable execution runtime (serial / thread pool) for the per-site
+  fan-out (:mod:`repro.exec`),
 * the paper's contribution — LEC-feature-accelerated partial evaluation and
   assembly (:mod:`repro.core`),
 * simulated comparison systems (:mod:`repro.baselines`),
@@ -42,6 +44,7 @@ from .core import (
     OptimizationLevel,
 )
 from .distributed import Cluster, QueryStatistics, build_cluster
+from .exec import ExecutorBackend, SerialBackend, ThreadPoolBackend, make_backend, run_per_site
 from .partition import (
     HashPartitioner,
     MetisLikePartitioner,
@@ -79,6 +82,7 @@ __all__ = [
     "Cluster",
     "DistributedResult",
     "EngineConfig",
+    "ExecutorBackend",
     "GStoreDEngine",
     "GraphStatistics",
     "HashPartitioner",
@@ -99,16 +103,20 @@ __all__ = [
     "ResultSet",
     "SelectQuery",
     "SemanticHashPartitioner",
+    "SerialBackend",
+    "ThreadPoolBackend",
     "Triple",
     "TripleStore",
     "Variable",
     "build_cluster",
     "collect_statistics",
     "evaluate_centralized",
+    "make_backend",
     "make_partitioner",
     "parse_query",
     "partitioning_cost",
     "quickstart_cluster",
+    "run_per_site",
     "select_best_partitioning",
     "__version__",
 ]

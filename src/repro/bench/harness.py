@@ -12,6 +12,7 @@ result, as discussed in DESIGN.md.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -102,9 +103,12 @@ def run_query(
     """Run one benchmark query on a prepared workload with a fresh network."""
     workload.cluster.reset_network()
     engine = GStoreDEngine(workload.cluster, config or EngineConfig.full())
-    return engine.execute(
-        workload.queries[query_name], query_name=query_name, dataset=workload.dataset
-    )
+    try:
+        return engine.execute(
+            workload.queries[query_name], query_name=query_name, dataset=workload.dataset
+        )
+    finally:
+        engine.close()
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +216,71 @@ def planner_comparison_series(
         result = run_query(workload, name, planner_on)
         series["planner-on"][name] = round(result.statistics.total_time_ms, 3)
     return series
+
+
+def stage_shipment_snapshot(result: DistributedResult) -> List[Tuple[str, int, int]]:
+    """Per-stage ``(name, shipped_bytes, messages)`` — the determinism fingerprint."""
+    return [
+        (stage.name, stage.shipped_bytes, stage.messages) for stage in result.statistics.stages
+    ]
+
+
+def parallel_comparison_rows(
+    dataset: str,
+    query_names: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+    strategy: str = "hash",
+    num_sites: int = DEFAULT_NUM_SITES,
+    worker_counts: Sequence[int] = (1, 4),
+) -> List[Dict[str, object]]:
+    """Execution-runtime A/B: serial vs thread-pool per-site fan-out.
+
+    For every query the serial engine and one threaded engine per worker
+    count run cache-warm over the same cluster; each row records the real
+    wall-clock time of ``execute()`` per backend, plus an ``identical`` flag
+    asserting that every backend returned the same solutions *and* the same
+    per-stage shipment fingerprint.  Wall-clock is the honest measure here —
+    the modelled response time already assumes perfect site parallelism, so
+    only the host's real concurrency (cores, free-threading) can move it.
+    """
+    workload = prepare_workload(dataset, scale, strategy, num_sites)
+    names = list(query_names) if query_names is not None else list(workload.queries)
+    rows: List[Dict[str, object]] = []
+
+    def timed_run(name: str, config: EngineConfig) -> Tuple[DistributedResult, float]:
+        workload.cluster.reset_network()
+        engine = GStoreDEngine(workload.cluster, config)
+        try:
+            started = time.perf_counter()
+            result = engine.execute(workload.queries[name], query_name=name, dataset=dataset)
+            wall_ms = (time.perf_counter() - started) * 1000.0
+        finally:
+            engine.close()
+        return result, wall_ms
+
+    # Explicitly serial so the baseline stays the reference even under a
+    # REPRO_EXECUTOR=threads environment.
+    serial_config = EngineConfig.full().with_options(executor="serial")
+    for name in names:
+        timed_run(name, serial_config)  # warm the plan caches once
+        baseline, serial_ms = timed_run(name, serial_config)
+        row: Dict[str, object] = {
+            "query": name,
+            "results": len(baseline.results),
+            "serial_wall_ms": round(serial_ms, 3),
+        }
+        identical = True
+        for workers in worker_counts:
+            result, wall_ms = timed_run(name, EngineConfig.full().with_workers(workers))
+            row[f"threads{workers}_wall_ms"] = round(wall_ms, 3)
+            identical = (
+                identical
+                and result.results.same_solutions(baseline.results)
+                and stage_shipment_snapshot(result) == stage_shipment_snapshot(baseline)
+            )
+        row["identical"] = identical
+        rows.append(row)
+    return rows
 
 
 def planner_search_report(

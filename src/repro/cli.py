@@ -38,6 +38,7 @@ from .bench import (
 from .core import EngineConfig, GStoreDEngine, OptimizationLevel
 from .datasets import get_dataset
 from .distributed import build_cluster
+from .exec import make_backend
 from .partition import (
     load_workspace,
     make_partitioner,
@@ -94,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     query_text.add_argument("--query-file", help="file containing the SPARQL query")
     query.add_argument("--show-stats", action="store_true", help="print per-stage statistics")
     query.add_argument("--limit", type=int, default=20, help="maximum solutions to print")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run per-site stage work on a thread pool with N workers (default: serial)",
+    )
 
     explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
     explain_source = explain.add_mutually_exclusive_group(required=True)
@@ -104,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain_text = explain.add_mutually_exclusive_group(required=True)
     explain_text.add_argument("--query", help="SPARQL query text")
     explain_text.add_argument("--query-file", help="file containing the SPARQL query")
+    explain.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="collect per-site planner statistics on a thread pool with N workers",
+    )
 
     experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument(
@@ -156,19 +169,41 @@ def _load_cluster(args: argparse.Namespace):
     return build_cluster(partitioned)
 
 
+def _validated_workers(args: argparse.Namespace) -> Optional[int]:
+    """The validated ``--workers`` value, or ``None`` when not given."""
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ValueError(f"--workers must be a positive worker count, got {workers}")
+    return workers
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    workers = _validated_workers(args)
     cluster = _load_cluster(args)
     query = parse_query(_read_query_text(args))
 
     engine_name = args.engine.lower()
     if engine_name in _LEVELS:
-        engine = GStoreDEngine(cluster, EngineConfig.for_level(_LEVELS[engine_name]))
+        config = EngineConfig.for_level(_LEVELS[engine_name])
+        if workers is not None:
+            config = config.with_workers(workers)
+        engine = GStoreDEngine(cluster, config)
     else:
+        if workers is not None:
+            raise ValueError("--workers only applies to the gStoreD engine family")
         proper_name = next(name for name in BASELINE_ENGINES if name.lower() == engine_name)
         engine = make_baseline(proper_name, cluster)
-    result = engine.execute(query, query_name="cli")
+    try:
+        result = engine.execute(query, query_name="cli")
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
 
-    print(f"{len(result.results)} solutions ({result.statistics.engine})")
+    executor = result.statistics.extra.get("executor")
+    runtime = ""
+    if executor and executor != "serial":
+        runtime = f", executor={executor} x{result.statistics.extra.get('max_workers')}"
+    print(f"{len(result.results)} solutions ({result.statistics.engine}{runtime})")
     for row in result.results.to_table()[: args.limit]:
         print("  " + ", ".join(f"{key}={value}" for key, value in sorted(row.items())))
     if args.show_stats:
@@ -187,11 +222,17 @@ def _read_query_text(args: argparse.Namespace) -> str:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    cluster = _load_cluster(args)
-    query = parse_query(_read_query_text(args))
+    workers = _validated_workers(args)
+    backend = make_backend("threads", workers) if workers is not None else None
+    try:
+        cluster = _load_cluster(args)
+        query = parse_query(_read_query_text(args))
 
-    statistics = cluster.graph_statistics()
-    planner = cluster.coordinator_planner()
+        statistics = cluster.graph_statistics(backend)
+        planner = cluster.coordinator_planner(backend=backend)
+    finally:
+        if backend is not None:
+            backend.close()
     print(f"statistics: {statistics.summary()} (aggregated over {cluster.num_sites} sites)")
     components = query.bgp.connected_components()
     for position, component in enumerate(components):

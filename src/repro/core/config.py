@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict
+from typing import Dict, Optional
 
 from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from .candidate_exchange import DEFAULT_BIT_VECTOR_BITS
@@ -60,6 +60,15 @@ class EngineConfig:
     use_planner: bool = True
     #: Maximum number of cached plans per planner (coordinator and sites).
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    #: Execution backend for the per-site stage fan-out (:mod:`repro.exec`):
+    #: ``"serial"`` or ``"threads"``.  ``None`` resolves from $REPRO_EXECUTOR
+    #: and defaults to serial, the reference behavior.  Like the planner this
+    #: is orthogonal to the paper's optimizations: results and shipment
+    #: accounting are bit-identical under every backend.
+    executor: Optional[str] = None
+    #: Worker threads for the ``"threads"`` backend; ``None`` resolves from
+    #: $REPRO_MAX_WORKERS and defaults to the CPU count.
+    max_workers: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Named configurations
@@ -118,6 +127,10 @@ class EngineConfig:
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **changes)
 
+    def with_workers(self, max_workers: int) -> "EngineConfig":
+        """A copy running the per-site fan-out on ``max_workers`` threads."""
+        return replace(self, executor="threads", max_workers=max_workers)
+
     def describe(self) -> Dict[str, object]:
         return {
             "label": self.label,
@@ -128,6 +141,8 @@ class EngineConfig:
             "bit_vector_bits": self.bit_vector_bits,
             "planner": self.use_planner,
             "plan_cache_size": self.plan_cache_size,
+            "executor": self.executor or "auto",
+            "max_workers": self.max_workers or "auto",
         }
 
 

@@ -24,6 +24,14 @@ rows of the paper's Tables I-III.
 Every stage's wall-clock time (per site and for the coordinator) and every
 inter-site message is recorded in a :class:`~repro.distributed.QueryStatistics`,
 from which the benchmark harness rebuilds the paper's tables.
+
+Execution model: each stage expresses its per-site body as a site-local task
+and fans it out through an :class:`~repro.exec.ExecutorBackend`
+(``EngineConfig.executor`` selects serial or threaded execution).  The tasks
+only touch their own site; all shared-state mutation — message-bus sends,
+statistics accumulation — happens afterwards in a serial merge over the
+results in ``site_id`` order, so answers and shipment accounting are
+bit-identical whatever the backend or worker count.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..distributed.cluster import Cluster
 from ..distributed.network import COORDINATOR, StageTimer
 from ..distributed.stats import QueryStatistics
+from ..exec import make_backend, run_per_site
 from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
@@ -80,6 +89,11 @@ class GStoreDEngine:
         self.cluster = cluster
         self.config = config or EngineConfig.full()
         self.name = name or self.config.label
+        #: How per-site stage bodies are scheduled (see :mod:`repro.exec`).
+        self.backend = make_backend(self.config.executor, self.config.max_workers)
+        #: The most recent execution's stage timer (kept for introspection
+        #: and so the cluster's weak timer registry has something to clear).
+        self.last_timer: Optional[StageTimer] = None
         # Sites plan their local evaluations from their own fragment's
         # statistics; the statistics and plan caches live on the stores, so
         # repeated queries (and repeated engines over the same cluster)
@@ -97,6 +111,14 @@ class GStoreDEngine:
     def _charge_network(self, stage) -> None:
         """Convert the stage's shipped bytes/messages into modelled transfer time."""
         stage.network_time_s = self.cluster.network.transfer_time(stage.shipped_bytes, stage.messages)
+
+    def _run_per_site(self, fn):
+        """Fan ``fn`` out over the sites; results merge in ``site_id`` order."""
+        return run_per_site(self.cluster, fn, self.backend)
+
+    def close(self) -> None:
+        """Release the execution backend's worker resources."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     # Public API
@@ -116,6 +138,17 @@ class GStoreDEngine:
         )
         query_graph = QueryGraph(query.bgp)
         timer = StageTimer()
+        # The engine keeps its most recent timer alive and registers it with
+        # the cluster (weakly) so `Cluster.reset_network()` can clear stale
+        # totals between back-to-back benchmark runs.
+        self.last_timer = timer
+        self.cluster.track_timer(timer)
+        if self.backend.name != "serial":
+            # Only non-default backends annotate the statistics — the serial
+            # reference must reproduce the paper's table layouts unchanged
+            # (extra keys become columns via QueryStatistics.as_row()).
+            stats.extra["executor"] = self.backend.name
+            stats.extra["max_workers"] = self.backend.max_workers
         if self.config.use_planner:
             # Keep the stage present (and first) even on the star path,
             # where the coordinator never plans — its zero-cost row mirrors
@@ -178,12 +211,15 @@ class GStoreDEngine:
     ) -> List[Binding]:
         """Evaluate a star query purely locally at every site."""
         stage = stats.stage(STAGE_PARTIAL_EVAL)
-        all_bindings: List[Binding] = []
-        for site in self.cluster:
+
+        def site_task(site) -> List[Binding]:
             with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
-                local = site.local_evaluate(query)
+                return list(site.local_evaluate(query))
+
+        all_bindings: List[Binding] = []
+        for site, local in self._run_per_site(site_task):
             shipped = self.cluster.bus.send(
-                site.site_id, COORDINATOR, "local_matches", list(local), STAGE_PARTIAL_EVAL
+                site.site_id, COORDINATOR, "local_matches", local, STAGE_PARTIAL_EVAL
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -228,12 +264,15 @@ class GStoreDEngine:
         stage = stats.stage(STAGE_CANDIDATES)
         if not self.config.use_candidate_exchange:
             return None
-        per_site_vectors = []
-        internal_candidate_total = 0
-        for site in self.cluster:
+        def site_task(site):
             with timer.measure(STAGE_CANDIDATES, site.site_id):
                 candidates = site.internal_candidates(query_graph)
                 vectors = build_site_vectors(candidates, self.config.bit_vector_bits)
+            return candidates, vectors
+
+        per_site_vectors = []
+        internal_candidate_total = 0
+        for site, (candidates, vectors) in self._run_per_site(site_task):
             internal_candidate_total += sum(len(values) for values in candidates.values())
             per_site_vectors.append(vectors)
             shipped = self.cluster.bus.send(
@@ -266,13 +305,11 @@ class GStoreDEngine:
         stats: QueryStatistics,
     ) -> Tuple[List[Binding], Dict[int, List[LocalPartialMatch]]]:
         stage = stats.stage(STAGE_PARTIAL_EVAL)
-        local_bindings: List[Binding] = []
-        lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
-        filtered_branches = 0
         edge_order = plan.edge_order if plan is not None else None
-        for site in self.cluster:
+
+        def site_task(site):
             with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
-                local_results = site.local_evaluate(query)
+                local_results = list(site.local_evaluate(query))
                 evaluator = PartialEvaluator(
                     site.fragment,
                     graph=site.graph,
@@ -280,11 +317,17 @@ class GStoreDEngine:
                     edge_order=edge_order,
                 )
                 outcome = evaluator.evaluate(query_graph, candidate_filter=candidate_filter)
+            return local_results, outcome
+
+        local_bindings: List[Binding] = []
+        lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
+        filtered_branches = 0
+        for site, (local_results, outcome) in self._run_per_site(site_task):
             local_bindings.extend(local_results)
             lpms_by_site[site.site_id] = outcome.local_partial_matches
             filtered_branches += outcome.branches_pruned_by_filter
             shipped = self.cluster.bus.send(
-                site.site_id, COORDINATOR, "local_matches", list(local_results), STAGE_PARTIAL_EVAL
+                site.site_id, COORDINATOR, "local_matches", local_results, STAGE_PARTIAL_EVAL
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -308,11 +351,15 @@ class GStoreDEngine:
         stage = stats.stage(STAGE_PRUNING)
         if not self.config.use_lec_pruning:
             return lpms_by_site
+        site_ids = sorted(lpms_by_site)
+
+        def feature_task(site_id: int) -> Dict[LECFeature, List[LocalPartialMatch]]:
+            with timer.measure(STAGE_PRUNING, site_id):
+                return compute_lec_features(lpms_by_site[site_id])
+
         classes_by_site: Dict[int, Dict[LECFeature, List[LocalPartialMatch]]] = {}
         features_by_site: Dict[int, List[LECFeature]] = {}
-        for site_id, lpms in lpms_by_site.items():
-            with timer.measure(STAGE_PRUNING, site_id):
-                classes = compute_lec_features(lpms)
+        for site_id, classes in zip(site_ids, self.backend.map(feature_task, site_ids)):
             classes_by_site[site_id] = classes
             features_by_site[site_id] = list(classes)
             shipped = self.cluster.bus.send(
@@ -328,13 +375,16 @@ class GStoreDEngine:
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
-        surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
-        for site_id, classes in classes_by_site.items():
+        def filter_task(site_id: int) -> List[LocalPartialMatch]:
             with timer.measure(STAGE_PRUNING, site_id):
                 kept: List[LocalPartialMatch] = []
-                for feature, members in classes.items():
+                for feature, members in classes_by_site[site_id].items():
                     if feature in surviving_features[site_id]:
                         kept.extend(members)
+            return kept
+
+        surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
+        for site_id, kept in zip(site_ids, self.backend.map(filter_task, site_ids)):
             surviving_by_site[site_id] = kept
         stage.site_times_s.update(timer.site_times(STAGE_PRUNING))
         stage.coordinator_time_s += timer.elapsed(STAGE_PRUNING, COORDINATOR)
@@ -392,5 +442,8 @@ def execute_ablation(
     for config in chosen:
         cluster.reset_network()
         engine = GStoreDEngine(cluster, config)
-        results.append(engine.execute(query, query_name=query_name, dataset=dataset))
+        try:
+            results.append(engine.execute(query, query_name=query_name, dataset=dataset))
+        finally:
+            engine.close()
     return results

@@ -10,15 +10,17 @@ comparisons happen over identical data placement.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterator, List, Optional
 
+from ..exec import ExecutorBackend, run_per_site
 from ..partition.fragment import PartitionedGraph
 from ..planner.optimizer import QueryPlanner
 from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from ..planner.statistics import GraphStatistics
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node
-from .network import MessageBus, NetworkModel
+from .network import MessageBus, NetworkModel, StageTimer
 from .site import Site
 from .stats import aggregate_graph_statistics
 
@@ -33,6 +35,10 @@ class Cluster:
         #: Cost model used by every engine to convert shipped bytes into time.
         self.network = network if network is not None else NetworkModel()
         self._coordinator_planner: Optional[QueryPlanner] = None
+        # Stage timers of engines executing on this cluster (weakly held, so
+        # a finished engine's timers can be collected); reset_network() clears
+        # them alongside the bus to keep back-to-back runs independent.
+        self._timers: "weakref.WeakSet[StageTimer]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------
     # Topology
@@ -72,12 +78,20 @@ class Cluster:
         """The site whose fragment owns ``vertex`` as an internal vertex."""
         return self._sites[self._partitioned.fragment_of(vertex)]
 
-    def graph_statistics(self) -> GraphStatistics:
+    def graph_statistics(self, backend: Optional[ExecutorBackend] = None) -> GraphStatistics:
         """Cluster-wide planner statistics, aggregated from the per-site
-        summaries (the coordinator's global view of the data distribution)."""
-        return aggregate_graph_statistics(site.graph_statistics() for site in self._sites)
+        summaries (the coordinator's global view of the data distribution).
 
-    def coordinator_planner(self, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> QueryPlanner:
+        With a backend the per-site summaries are collected through its
+        fan-out (the summaries merge in ``site_id`` order either way)."""
+        per_site = run_per_site(self, lambda site: site.graph_statistics(), backend)
+        return aggregate_graph_statistics(statistics for _, statistics in per_site)
+
+    def coordinator_planner(
+        self,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        backend: Optional[ExecutorBackend] = None,
+    ) -> QueryPlanner:
         """The coordinator-side planner over the aggregated statistics.
 
         Owned by the cluster (not the engine) so its plan cache survives
@@ -86,16 +100,29 @@ class Cluster:
         """
         if self._coordinator_planner is None or self._coordinator_planner.cache.maxsize != plan_cache_size:
             self._coordinator_planner = QueryPlanner(
-                self.graph_statistics(), cache_size=plan_cache_size
+                self.graph_statistics(backend), cache_size=plan_cache_size
             )
         return self._coordinator_planner
 
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
+    def track_timer(self, timer: StageTimer) -> None:
+        """Register a stage timer so :meth:`reset_network` can clear it."""
+        self._timers.add(timer)
+
     def reset_network(self) -> None:
-        """Clear message accounting between benchmark runs."""
+        """Clear message accounting *and* stage-timer state between runs.
+
+        Engines register their per-execution :class:`StageTimer` here; a
+        benchmark that reuses a timer (or an engine) across back-to-back runs
+        would otherwise accumulate stale per-site totals on top of the stale
+        message log.
+        """
         self.bus.reset()
+        for timer in list(self._timers):
+            timer.reset()
+        self._timers.clear()
 
     def stats(self) -> Dict[str, object]:
         return {

@@ -13,6 +13,7 @@ partial matches), which keeps the measurement deterministic and cheap.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -122,52 +123,74 @@ class Message:
 
 @dataclass
 class MessageBus:
-    """Records every message sent between sites / the coordinator."""
+    """Records every message sent between sites / the coordinator.
+
+    The bus is shared by every site, so with a threaded execution backend
+    concurrent sends are possible; an internal lock keeps the message log and
+    its derived counters consistent.  (The engines additionally issue their
+    sends from the deterministic site-order merge, so the *order* of the log
+    does not depend on the backend either.)
+    """
 
     messages: List[Message] = field(default_factory=list)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False, compare=False)
 
     def send(self, source: int, destination: int, kind: str, payload: Any, stage: str = "") -> int:
         """Record a message and return its estimated size in bytes."""
         size = estimate_size(payload)
-        self.messages.append(Message(source, destination, kind, size, stage))
+        with self._lock:
+            self.messages.append(Message(source, destination, kind, size, stage))
         return size
 
     def broadcast(self, source: int, destinations: List[int], kind: str, payload: Any, stage: str = "") -> int:
         """Send the same payload to every destination; return the total bytes."""
-        return sum(self.send(source, destination, kind, payload, stage) for destination in destinations)
+        with self._lock:
+            return sum(self.send(source, destination, kind, payload, stage) for destination in destinations)
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     @property
     def total_bytes(self) -> int:
-        return sum(message.size_bytes for message in self.messages)
+        with self._lock:
+            return sum(message.size_bytes for message in self.messages)
 
     @property
     def total_messages(self) -> int:
-        return len(self.messages)
+        with self._lock:
+            return len(self.messages)
 
     def bytes_for_stage(self, stage: str) -> int:
-        return sum(m.size_bytes for m in self.messages if m.stage == stage)
+        with self._lock:
+            return sum(m.size_bytes for m in self.messages if m.stage == stage)
 
     def messages_for_stage(self, stage: str) -> int:
-        return sum(1 for m in self.messages if m.stage == stage)
+        with self._lock:
+            return sum(1 for m in self.messages if m.stage == stage)
 
     def bytes_by_kind(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
-        for message in self.messages:
-            totals[message.kind] = totals.get(message.kind, 0) + message.size_bytes
-        return totals
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for message in self.messages:
+                totals[message.kind] = totals.get(message.kind, 0) + message.size_bytes
+            return totals
 
     def reset(self) -> None:
-        self.messages.clear()
+        with self._lock:
+            self.messages.clear()
 
 
 class StageTimer:
-    """Context-manager helper to time site / coordinator work within a stage."""
+    """Context-manager helper to time site / coordinator work within a stage.
+
+    With a threaded backend several sites measure concurrently; each
+    accumulation into the shared table happens under a lock so no sample is
+    lost, and the per-``(stage, site_id)`` keys never collide between sites.
+    """
 
     def __init__(self) -> None:
         self._elapsed: Dict[Tuple[str, int], float] = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def measure(self, stage: str, site_id: int = COORDINATOR) -> Iterator[None]:
@@ -177,14 +200,22 @@ class StageTimer:
         finally:
             elapsed = time.perf_counter() - started
             key = (stage, site_id)
-            self._elapsed[key] = self._elapsed.get(key, 0.0) + elapsed
+            with self._lock:
+                self._elapsed[key] = self._elapsed.get(key, 0.0) + elapsed
 
     def elapsed(self, stage: str, site_id: int = COORDINATOR) -> float:
-        return self._elapsed.get((stage, site_id), 0.0)
+        with self._lock:
+            return self._elapsed.get((stage, site_id), 0.0)
 
     def site_times(self, stage: str) -> Dict[int, float]:
-        return {
-            site_id: seconds
-            for (stage_name, site_id), seconds in self._elapsed.items()
-            if stage_name == stage and site_id != COORDINATOR
-        }
+        with self._lock:
+            return {
+                site_id: seconds
+                for (stage_name, site_id), seconds in self._elapsed.items()
+                if stage_name == stage and site_id != COORDINATOR
+            }
+
+    def reset(self) -> None:
+        """Forget every accumulated sample (used between benchmark runs)."""
+        with self._lock:
+            self._elapsed.clear()

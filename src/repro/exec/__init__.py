@@ -1,0 +1,29 @@
+"""Execution runtime: pluggable backends for the engine's per-site fan-out."""
+
+from .backend import (
+    EXECUTOR_CHOICES,
+    EXECUTOR_ENV_VAR,
+    MAX_WORKERS_ENV_VAR,
+    SERIAL,
+    THREADS,
+    ExecutorBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    default_max_workers,
+    make_backend,
+    run_per_site,
+)
+
+__all__ = [
+    "EXECUTOR_CHOICES",
+    "EXECUTOR_ENV_VAR",
+    "MAX_WORKERS_ENV_VAR",
+    "SERIAL",
+    "THREADS",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "default_max_workers",
+    "make_backend",
+    "run_per_site",
+]

@@ -1,0 +1,162 @@
+"""Execution backends scheduling the engine's per-site work.
+
+The paper's pipeline is embarrassingly parallel between stages' barriers:
+candidate compression, partial evaluation and LEC feature extraction all run
+*independently at each site* before the coordinator acts.  The seed engine
+nevertheless walked the sites in a sequential ``for`` loop; this module
+abstracts that loop behind an :class:`ExecutorBackend` so the same engine
+code can run the per-site bodies serially (the default, and the reference
+behavior) or on a thread pool.
+
+Determinism contract
+--------------------
+
+Whatever the backend, :meth:`ExecutorBackend.map` returns results in
+*submission order* — never completion order — and :func:`run_per_site`
+always pairs sites with results in ascending ``site_id`` order.  Engines
+keep all shared-state mutation (message-bus accounting, statistics
+accumulation) in the serial merge that consumes these ordered results, so
+answers, ``shipped_bytes`` and ``messages`` are bit-identical regardless of
+the backend or worker count.  The cross-engine equivalence and determinism
+tests under ``tests/exec/`` enforce exactly this.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Backend names accepted by :func:`make_backend` / ``EngineConfig.executor``.
+SERIAL = "serial"
+THREADS = "threads"
+EXECUTOR_CHOICES = (SERIAL, THREADS)
+
+#: Environment variables resolving the defaults (used by the CI matrix to run
+#: the whole suite over the threaded path without touching any test).
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+
+def default_max_workers() -> int:
+    """Worker count used when none is configured: $REPRO_MAX_WORKERS or CPU count."""
+    from_env = os.environ.get(MAX_WORKERS_ENV_VAR)
+    if from_env is not None:
+        workers = int(from_env)
+        if workers < 1:
+            raise ValueError(f"{MAX_WORKERS_ENV_VAR} must be >= 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+class ExecutorBackend(ABC):
+    """Strategy for running a batch of independent site-local tasks."""
+
+    name: str = "abstract"
+    max_workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run ``fn`` over ``items``; results come back in submission order.
+
+        The first exception raised by any task propagates to the caller.
+        """
+
+    def close(self) -> None:
+        """Release any worker resources; the backend stays usable afterwards
+        (a later :meth:`map` lazily re-acquires them)."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} max_workers={self.max_workers}>"
+
+
+class SerialBackend(ExecutorBackend):
+    """The reference backend: run every task inline, one after another."""
+
+    name = SERIAL
+    max_workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolBackend(ExecutorBackend):
+    """Run site-local tasks on a ``concurrent.futures`` thread pool.
+
+    The pool is created lazily on first use and persists across calls (one
+    engine runs many stages); ``close()`` tears it down.  Single-item batches
+    skip the pool entirely — there is nothing to overlap.
+    """
+
+    name = THREADS
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        workers = default_max_workers() if max_workers is None else max_workers
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {workers}")
+        self.max_workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-site"
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        # Executor.map yields results in submission order (not completion
+        # order), which is exactly the determinism contract.
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_backend(
+    executor: Optional[str] = None, max_workers: Optional[int] = None
+) -> ExecutorBackend:
+    """Build a backend from an explicit choice or the environment.
+
+    ``executor=None`` resolves from ``$REPRO_EXECUTOR`` and falls back to
+    ``"serial"`` — the reproducible default.  ``max_workers=None`` resolves
+    from ``$REPRO_MAX_WORKERS`` and falls back to the CPU count.
+    """
+    chosen = executor if executor is not None else os.environ.get(EXECUTOR_ENV_VAR, SERIAL)
+    chosen = chosen.strip().lower() or SERIAL
+    if chosen == SERIAL:
+        return SerialBackend()
+    if chosen == THREADS:
+        return ThreadPoolBackend(max_workers)
+    raise ValueError(
+        f"unknown executor {chosen!r}; expected one of {', '.join(EXECUTOR_CHOICES)}"
+    )
+
+
+def run_per_site(
+    cluster: Iterable, fn: Callable, backend: Optional[ExecutorBackend] = None
+) -> List[Tuple[object, object]]:
+    """Fan ``fn`` out over the cluster's sites and merge in ``site_id`` order.
+
+    Returns ``[(site, fn(site)), ...]`` sorted by ``site_id`` no matter how
+    the backend schedules the work, so callers can fold results into shared
+    state deterministically.
+    """
+    sites = sorted(cluster, key=lambda site: site.site_id)
+    results = (backend or SerialBackend()).map(fn, sites)
+    return list(zip(sites, results))

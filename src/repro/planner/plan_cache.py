@@ -20,6 +20,7 @@ cached plan resolves correctly against any query with the same key.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -57,41 +58,52 @@ def shape_key(query: QueryGraph) -> ShapeKey:
 
 
 class PlanCache:
-    """A bounded LRU mapping of query shapes to plans, with hit accounting."""
+    """A bounded LRU mapping of query shapes to plans, with hit accounting.
+
+    All operations are guarded by a lock: with a threaded execution backend
+    several sites may plan concurrently, and the LRU reordering plus the
+    hit/miss counters are not safe to interleave.
+    """
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         if maxsize < 1:
             raise ValueError("plan cache size must be at least 1")
         self.maxsize = maxsize
         self._entries: "OrderedDict[ShapeKey, QueryPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: ShapeKey) -> Optional[QueryPlan]:
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: ShapeKey, plan: QueryPlan) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ShapeKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def hit_rate(self) -> float:

@@ -99,3 +99,48 @@ class TestStageTimer:
 
     def test_unknown_stage_is_zero(self):
         assert StageTimer().elapsed("nothing", 3) == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_sends_lose_no_messages(self):
+        import threading
+
+        bus = MessageBus()
+        sends_per_thread = 200
+
+        def sender(source):
+            for i in range(sends_per_thread):
+                bus.send(source, COORDINATOR, "k", i, "stage")
+
+        threads = [threading.Thread(target=sender, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert bus.total_messages == 4 * sends_per_thread
+        assert bus.messages_for_stage("stage") == 4 * sends_per_thread
+
+    def test_concurrent_measures_lose_no_samples(self):
+        import threading
+
+        timer = StageTimer()
+
+        def worker(site_id):
+            for _ in range(50):
+                with timer.measure("stage", site_id):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(timer.site_times("stage")) == {0, 1, 2, 3}
+
+    def test_timer_reset(self):
+        timer = StageTimer()
+        with timer.measure("stage", 2):
+            pass
+        timer.reset()
+        assert timer.elapsed("stage", 2) == 0.0
+        assert timer.site_times("stage") == {}

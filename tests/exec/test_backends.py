@@ -1,0 +1,142 @@
+"""Unit tests for the execution backends and the per-site fan-out helper."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    EXECUTOR_ENV_VAR,
+    MAX_WORKERS_ENV_VAR,
+    SerialBackend,
+    ThreadPoolBackend,
+    default_max_workers,
+    make_backend,
+    run_per_site,
+)
+
+
+class TestSerialBackend:
+    def test_maps_in_order(self):
+        backend = SerialBackend()
+        assert backend.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        assert backend.name == "serial"
+        assert backend.max_workers == 1
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            raise RuntimeError(f"task {x}")
+
+        with pytest.raises(RuntimeError, match="task 1"):
+            SerialBackend().map(boom, [1, 2])
+
+    def test_empty_batch(self):
+        assert SerialBackend().map(lambda x: x, []) == []
+
+
+class TestThreadPoolBackend:
+    def test_results_come_back_in_submission_order(self):
+        # Later items finish *first* (shorter sleeps), yet the results must
+        # come back in submission order — the determinism contract.
+        items = list(range(6))
+
+        def staggered(i):
+            time.sleep((len(items) - i) * 0.005)
+            return i * 10
+
+        with ThreadPoolBackend(max_workers=6) as backend:
+            assert backend.map(staggered, items) == [i * 10 for i in items]
+
+    def test_actually_uses_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(3, timeout=5)
+
+        def task(i):
+            barrier.wait()  # deadlocks unless 3 tasks run concurrently
+            seen.add(threading.current_thread().name)
+            return i
+
+        with ThreadPoolBackend(max_workers=3) as backend:
+            assert backend.map(task, [0, 1, 2]) == [0, 1, 2]
+        assert len(seen) >= 2
+
+    def test_single_item_runs_inline(self):
+        with ThreadPoolBackend(max_workers=4) as backend:
+            thread_names = backend.map(lambda _: threading.current_thread().name, ["x"])
+        assert thread_names == [threading.current_thread().name]
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            if x == 1:
+                raise ValueError("boom")
+            return x
+
+        with ThreadPoolBackend(max_workers=2) as backend:
+            with pytest.raises(ValueError, match="boom"):
+                backend.map(boom, [0, 1, 2])
+
+    def test_usable_after_close(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert backend.map(str, [1, 2]) == ["1", "2"]
+        backend.close()
+        backend.close()  # idempotent
+        assert backend.map(str, [3, 4]) == ["3", "4"]
+        backend.close()
+
+    def test_rejects_invalid_worker_counts(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=-2)
+
+
+class TestMakeBackend:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert isinstance(make_backend(), SerialBackend)
+
+    def test_environment_selects_threads(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "threads")
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "3")
+        backend = make_backend()
+        assert isinstance(backend, ThreadPoolBackend)
+        assert backend.max_workers == 3
+        backend.close()
+
+    def test_explicit_choice_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "threads")
+        assert isinstance(make_backend("serial"), SerialBackend)
+
+    def test_explicit_workers_override_environment(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "3")
+        backend = make_backend("threads", 2)
+        assert backend.max_workers == 2
+        backend.close()
+
+    def test_unknown_executor_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_backend("mpi")
+
+    def test_default_max_workers_floor(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV_VAR, raising=False)
+        assert default_max_workers() >= 1
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            default_max_workers()
+
+
+class TestRunPerSite:
+    def test_merges_in_site_id_order(self, example_cluster):
+        with ThreadPoolBackend(max_workers=4) as backend:
+
+            def staggered(site):
+                time.sleep((example_cluster.num_sites - site.site_id) * 0.005)
+                return site.site_id
+
+            pairs = run_per_site(example_cluster, staggered, backend)
+        assert [site.site_id for site, _ in pairs] == sorted(example_cluster.site_ids)
+        assert [result for _, result in pairs] == sorted(example_cluster.site_ids)
+
+    def test_defaults_to_serial(self, example_cluster):
+        pairs = run_per_site(example_cluster, lambda site: site.name)
+        assert [result for _, result in pairs] == [f"S{i}" for i in example_cluster.site_ids]

@@ -121,6 +121,56 @@ class TestQuery:
             assert exit_code == 0
 
 
+class TestQueryWorkers:
+    QUERY = TestQuery.QUERY
+
+    def test_query_with_workers_runs_threaded(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--workers", "2", "--query", self.QUERY]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "solutions" in output
+        assert "executor=threads x2" in output
+
+    def test_threaded_and_serial_answers_match(self, dataset_file, capsys):
+        main(["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY, "--limit", "100"])
+        serial_output = capsys.readouterr().out
+        main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--workers", "4", "--query", self.QUERY, "--limit", "100"]
+        )
+        threaded_output = capsys.readouterr().out
+        # Identical solution lines; only the engine banner differs.
+        assert sorted(serial_output.splitlines()[1:]) == sorted(threaded_output.splitlines()[1:])
+
+    @pytest.mark.parametrize("workers", ["0", "-2"])
+    def test_invalid_worker_counts_are_rejected(self, dataset_file, capsys, workers):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "2", "--workers", workers, "--query", self.QUERY]
+        )
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_rejected_for_baseline_engines(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "2",
+                "--engine",
+                "dream",
+                "--workers",
+                "2",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 2
+        assert "gStoreD" in capsys.readouterr().err
+
+
 class TestExplain:
     QUERY = (
         "PREFIX ub: <http://example.org/univ-bench#> "
@@ -150,6 +200,22 @@ class TestExplain:
         )
         assert exit_code == 0
         assert "edge order:" in capsys.readouterr().out
+
+    def test_explain_with_workers(self, dataset_file, capsys):
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "3", "--workers", "2", "--query", self.QUERY]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "statistics:" in output
+        assert "vertex order:" in output
+
+    def test_explain_rejects_invalid_worker_count(self, dataset_file, capsys):
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "3", "--workers", "0", "--query", self.QUERY]
+        )
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
 
 
 class TestExperiment:

@@ -232,54 +232,79 @@ def parallel_comparison_rows(
     strategy: str = "hash",
     num_sites: int = DEFAULT_NUM_SITES,
     worker_counts: Sequence[int] = (1, 4),
+    process_worker_counts: Sequence[int] = (),
 ) -> List[Dict[str, object]]:
-    """Execution-runtime A/B: serial vs thread-pool per-site fan-out.
+    """Execution-runtime A/B: serial vs thread-pool vs process-pool fan-out.
 
-    For every query the serial engine and one threaded engine per worker
-    count run cache-warm over the same cluster; each row records the real
-    wall-clock time of ``execute()`` per backend, plus an ``identical`` flag
-    asserting that every backend returned the same solutions *and* the same
-    per-stage shipment fingerprint.  Wall-clock is the honest measure here —
-    the modelled response time already assumes perfect site parallelism, so
-    only the host's real concurrency (cores, free-threading) can move it.
+    For every query the serial engine, one threaded engine per
+    ``worker_counts`` entry and one process-pool engine per
+    ``process_worker_counts`` entry run cache-warm over the same cluster;
+    each row records the real wall-clock time of ``execute()`` per backend
+    (``threads{N}_wall_ms`` / ``processes{N}_wall_ms`` columns), plus an
+    ``identical`` flag asserting that every backend returned the same
+    solutions *and* the same per-stage shipment fingerprint.
+
+    Thread and process pools are shared across the queries of one backend
+    column and warmed with one throwaway run per (backend, query), so the
+    measured times exclude pool spin-up, worker bootstrap and cold plan
+    caches — the steady state a long-lived deployment sees.  Wall-clock is
+    the honest measure here: the modelled response time already assumes
+    perfect site parallelism, so only the host's real concurrency (cores, or
+    GIL-free processes) can move it.
     """
+    from ..exec import ExecutorBackend, ProcessPoolBackend, ThreadPoolBackend
+
     workload = prepare_workload(dataset, scale, strategy, num_sites)
     names = list(query_names) if query_names is not None else list(workload.queries)
     rows: List[Dict[str, object]] = []
 
-    def timed_run(name: str, config: EngineConfig) -> Tuple[DistributedResult, float]:
+    def timed_run(
+        name: str, config: EngineConfig, backend: Optional[ExecutorBackend] = None
+    ) -> Tuple[DistributedResult, float]:
         workload.cluster.reset_network()
-        engine = GStoreDEngine(workload.cluster, config)
+        engine = GStoreDEngine(workload.cluster, config, backend=backend)
         try:
             started = time.perf_counter()
             result = engine.execute(workload.queries[name], query_name=name, dataset=dataset)
             wall_ms = (time.perf_counter() - started) * 1000.0
         finally:
-            engine.close()
+            engine.close()  # shared backends survive; owned ones shut down
         return result, wall_ms
 
     # Explicitly serial so the baseline stays the reference even under a
-    # REPRO_EXECUTOR=threads environment.
+    # REPRO_EXECUTOR=threads / =processes environment.
     serial_config = EngineConfig.full().with_options(executor="serial")
-    for name in names:
-        timed_run(name, serial_config)  # warm the plan caches once
-        baseline, serial_ms = timed_run(name, serial_config)
-        row: Dict[str, object] = {
-            "query": name,
-            "results": len(baseline.results),
-            "serial_wall_ms": round(serial_ms, 3),
-        }
-        identical = True
-        for workers in worker_counts:
-            result, wall_ms = timed_run(name, EngineConfig.full().with_workers(workers))
-            row[f"threads{workers}_wall_ms"] = round(wall_ms, 3)
-            identical = (
-                identical
-                and result.results.same_solutions(baseline.results)
-                and stage_shipment_snapshot(result) == stage_shipment_snapshot(baseline)
-            )
-        row["identical"] = identical
-        rows.append(row)
+    #: (column prefix, worker count) -> shared warm pool for that column.
+    pools: Dict[Tuple[str, int], ExecutorBackend] = {}
+    for workers in worker_counts:
+        pools[("threads", workers)] = ThreadPoolBackend(workers)
+    for workers in process_worker_counts:
+        pools[("processes", workers)] = ProcessPoolBackend(workers)
+    try:
+        for name in names:
+            timed_run(name, serial_config)  # warm the plan caches once
+            baseline, serial_ms = timed_run(name, serial_config)
+            row: Dict[str, object] = {
+                "query": name,
+                "results": len(baseline.results),
+                "serial_wall_ms": round(serial_ms, 3),
+            }
+            identical = True
+            for (kind, workers), pool in pools.items():
+                config = EngineConfig.full().with_executor(kind, workers)
+                timed_run(name, config, backend=pool)  # warm pool + worker caches
+                result, wall_ms = timed_run(name, config, backend=pool)
+                row[f"{kind}{workers}_wall_ms"] = round(wall_ms, 3)
+                identical = (
+                    identical
+                    and result.results.same_solutions(baseline.results)
+                    and stage_shipment_snapshot(result) == stage_shipment_snapshot(baseline)
+                )
+            row["identical"] = identical
+            rows.append(row)
+    finally:
+        for pool in pools.values():
+            pool.close()
     return rows
 
 

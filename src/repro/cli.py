@@ -38,7 +38,7 @@ from .bench import (
 from .core import EngineConfig, GStoreDEngine, OptimizationLevel
 from .datasets import get_dataset
 from .distributed import build_cluster
-from .exec import make_backend
+from .exec import EXECUTOR_CHOICES, make_backend
 from .partition import (
     load_workspace,
     make_partitioner,
@@ -99,7 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="run per-site stage work on a thread pool with N workers (default: serial)",
+        help="run per-site stage work on a worker pool with N workers (default: serial)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=None,
+        help="execution backend for the per-site fan-out (threads is implied by "
+        "--workers alone; processes sidesteps the GIL for real multi-core speedup)",
     )
 
     explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
@@ -115,7 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="collect per-site planner statistics on a thread pool with N workers",
+        help="collect per-site planner statistics on a worker pool with N workers",
+    )
+    explain.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=None,
+        help="execution backend for the statistics fan-out (threads is implied by --workers alone)",
     )
 
     experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
@@ -177,20 +190,39 @@ def _validated_workers(args: argparse.Namespace) -> Optional[int]:
     return workers
 
 
+def _requested_executor(args: argparse.Namespace, workers: Optional[int]) -> Optional[str]:
+    """The backend to use, or ``None`` for the serial default.
+
+    ``--workers N`` alone keeps its original meaning (a thread pool of N);
+    ``--executor`` overrides the backend and works with or without
+    ``--workers`` (processes then size themselves from $REPRO_MAX_WORKERS or
+    the CPU count).
+    """
+    executor = getattr(args, "executor", None)
+    if executor == "serial" and workers is not None:
+        raise ValueError("--workers is meaningless with --executor serial; drop one of them")
+    if executor is not None:
+        return executor
+    return "threads" if workers is not None else None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
+    executor = _requested_executor(args, workers)
     cluster = _load_cluster(args)
     query = parse_query(_read_query_text(args))
 
     engine_name = args.engine.lower()
     if engine_name in _LEVELS:
         config = EngineConfig.for_level(_LEVELS[engine_name])
-        if workers is not None:
-            config = config.with_workers(workers)
+        if executor is not None:
+            config = config.with_executor(executor, workers)
         engine = GStoreDEngine(cluster, config)
     else:
         if workers is not None:
             raise ValueError("--workers only applies to the gStoreD engine family")
+        if executor is not None:
+            raise ValueError("--executor only applies to the gStoreD engine family")
         proper_name = next(name for name in BASELINE_ENGINES if name.lower() == engine_name)
         engine = make_baseline(proper_name, cluster)
     try:
@@ -223,7 +255,8 @@ def _read_query_text(args: argparse.Namespace) -> str:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
-    backend = make_backend("threads", workers) if workers is not None else None
+    executor = _requested_executor(args, workers)
+    backend = make_backend(executor, workers) if executor is not None else None
     try:
         cluster = _load_cluster(args)
         query = parse_query(_read_query_text(args))

@@ -61,13 +61,13 @@ class EngineConfig:
     #: Maximum number of cached plans per planner (coordinator and sites).
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
     #: Execution backend for the per-site stage fan-out (:mod:`repro.exec`):
-    #: ``"serial"`` or ``"threads"``.  ``None`` resolves from $REPRO_EXECUTOR
-    #: and defaults to serial, the reference behavior.  Like the planner this
-    #: is orthogonal to the paper's optimizations: results and shipment
-    #: accounting are bit-identical under every backend.
+    #: ``"serial"``, ``"threads"`` or ``"processes"``.  ``None`` resolves
+    #: from $REPRO_EXECUTOR and defaults to serial, the reference behavior.
+    #: Like the planner this is orthogonal to the paper's optimizations:
+    #: results and shipment accounting are bit-identical under every backend.
     executor: Optional[str] = None
-    #: Worker threads for the ``"threads"`` backend; ``None`` resolves from
-    #: $REPRO_MAX_WORKERS and defaults to the CPU count.
+    #: Workers for the ``"threads"`` / ``"processes"`` backends; ``None``
+    #: resolves from $REPRO_MAX_WORKERS and defaults to the CPU count.
     max_workers: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -127,9 +127,18 @@ class EngineConfig:
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **changes)
 
-    def with_workers(self, max_workers: int) -> "EngineConfig":
-        """A copy running the per-site fan-out on ``max_workers`` threads."""
-        return replace(self, executor="threads", max_workers=max_workers)
+    def with_workers(self, max_workers: int, executor: str = "threads") -> "EngineConfig":
+        """A copy running the per-site fan-out on ``max_workers`` threads
+        (or on the given backend, e.g. ``executor="processes"``)."""
+        return replace(self, executor=executor, max_workers=max_workers)
+
+    def with_executor(self, executor: str, max_workers: Optional[int] = None) -> "EngineConfig":
+        """A copy using the named execution backend for the per-site fan-out.
+
+        ``max_workers=None`` keeps the backend's own default resolution
+        ($REPRO_MAX_WORKERS, then the CPU count).
+        """
+        return replace(self, executor=executor, max_workers=max_workers)
 
     def describe(self) -> Dict[str, object]:
         return {

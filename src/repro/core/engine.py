@@ -25,35 +25,45 @@ Every stage's wall-clock time (per site and for the coordinator) and every
 inter-site message is recorded in a :class:`~repro.distributed.QueryStatistics`,
 from which the benchmark harness rebuilds the paper's tables.
 
-Execution model: each stage expresses its per-site body as a site-local task
-and fans it out through an :class:`~repro.exec.ExecutorBackend`
-(``EngineConfig.executor`` selects serial or threaded execution).  The tasks
-only touch their own site; all shared-state mutation — message-bus sends,
-statistics accumulation — happens afterwards in a serial merge over the
-results in ``site_id`` order, so answers and shipment accounting are
-bit-identical whatever the backend or worker count.
+Execution model: each stage expresses its per-site body as a picklable
+:class:`~repro.exec.SiteTask` descriptor (``(site_id, stage, payload)``; the
+module-level handlers live in :mod:`repro.core.site_tasks`) and fans the
+batch out through an :class:`~repro.exec.ExecutorBackend` —
+``EngineConfig.executor`` selects serial, threaded or process execution.
+Handlers only touch their own site and their explicit payload; all
+shared-state mutation — message-bus sends, statistics accumulation, stage
+timing — happens afterwards in a serial merge over the results in
+``site_id`` order, so answers and shipment accounting are bit-identical
+whatever the backend or worker count.  (Process workers bootstrap their own
+copy of every site from serialized fragments; see :mod:`repro.exec.worker`.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..distributed.cluster import Cluster
 from ..distributed.network import COORDINATOR, StageTimer
 from ..distributed.stats import QueryStatistics
-from ..exec import make_backend, run_per_site
+from ..exec import ExecutorBackend, SiteTask, SiteTaskResult, make_backend
 from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.query_graph import QueryGraph
 from .assembly import AssemblyOutcome, assemble_matches
-from .candidate_exchange import GlobalCandidateFilter, build_site_vectors, union_site_vectors
+from .candidate_exchange import GlobalCandidateFilter, union_site_vectors
 from .config import EngineConfig
-from .lec import LECFeature, compute_lec_features, lec_feature_of
-from .partial_eval import PartialEvaluator
+from .lec import LECFeature
 from .partial_match import LocalPartialMatch
 from .pruning import prune_features
+from .site_tasks import (
+    candidate_vector_tasks,
+    lec_feature_tasks,
+    lec_filter_tasks,
+    local_eval_tasks,
+    partial_eval_tasks,
+)
 
 #: Stage names used consistently in statistics, tables and tests.
 STAGE_PLANNING = "planning"
@@ -85,12 +95,19 @@ class GStoreDEngine:
         cluster: Cluster,
         config: Optional[EngineConfig] = None,
         name: Optional[str] = None,
+        backend: Optional[ExecutorBackend] = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or EngineConfig.full()
         self.name = name or self.config.label
         #: How per-site stage bodies are scheduled (see :mod:`repro.exec`).
-        self.backend = make_backend(self.config.executor, self.config.max_workers)
+        #: An explicitly injected backend is *shared*: the caller keeps
+        #: ownership and :meth:`close` leaves it running (benchmarks reuse
+        #: one warm process pool across many engines this way).
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else make_backend(
+            self.config.executor, self.config.max_workers
+        )
         #: The most recent execution's stage timer (kept for introspection
         #: and so the cluster's weak timer registry has something to clear).
         self.last_timer: Optional[StageTimer] = None
@@ -112,13 +129,37 @@ class GStoreDEngine:
         """Convert the stage's shipped bytes/messages into modelled transfer time."""
         stage.network_time_s = self.cluster.network.transfer_time(stage.shipped_bytes, stage.messages)
 
-    def _run_per_site(self, fn):
-        """Fan ``fn`` out over the sites; results merge in ``site_id`` order."""
-        return run_per_site(self.cluster, fn, self.backend)
+    def _site_ids(self) -> List[int]:
+        """The cluster's site ids in ascending order (the fan-out order)."""
+        return sorted(self.cluster.site_ids)
+
+    def _site_options(self) -> Dict[str, object]:
+        """Worker-side knobs for process pools (mirrors the sites' planner setup)."""
+        return {
+            "use_planner": self.config.use_planner,
+            "plan_cache_size": self.config.plan_cache_size,
+        }
+
+    def _run_site_tasks(
+        self, tasks: Sequence[SiteTask], timer: StageTimer, stage_name: str
+    ) -> List[SiteTaskResult]:
+        """Fan the task batch out and record each site's measured time.
+
+        Results come back in submission order (the builders emit tasks in
+        ascending ``site_id`` order), so the callers' merges stay
+        deterministic; the handler-measured wall-clock of each task is folded
+        into the shared timer here, in the serial merge, never by the tasks
+        themselves.
+        """
+        results = self.backend.map_site_tasks(tasks, self.cluster, self._site_options())
+        for result in results:
+            timer.record(stage_name, result.site_id, result.elapsed_s)
+        return results
 
     def close(self) -> None:
-        """Release the execution backend's worker resources."""
-        self.backend.close()
+        """Release the execution backend's worker resources (owned backends only)."""
+        if self._owns_backend:
+            self.backend.close()
 
     # ------------------------------------------------------------------
     # Public API
@@ -211,15 +252,12 @@ class GStoreDEngine:
     ) -> List[Binding]:
         """Evaluate a star query purely locally at every site."""
         stage = stats.stage(STAGE_PARTIAL_EVAL)
-
-        def site_task(site) -> List[Binding]:
-            with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
-                return list(site.local_evaluate(query))
-
+        tasks = local_eval_tasks(self._site_ids(), query)
         all_bindings: List[Binding] = []
-        for site, local in self._run_per_site(site_task):
+        for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL):
+            local = result.value
             shipped = self.cluster.bus.send(
-                site.site_id, COORDINATOR, "local_matches", local, STAGE_PARTIAL_EVAL
+                result.site_id, COORDINATOR, "local_matches", local, STAGE_PARTIAL_EVAL
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -264,19 +302,15 @@ class GStoreDEngine:
         stage = stats.stage(STAGE_CANDIDATES)
         if not self.config.use_candidate_exchange:
             return None
-        def site_task(site):
-            with timer.measure(STAGE_CANDIDATES, site.site_id):
-                candidates = site.internal_candidates(query_graph)
-                vectors = build_site_vectors(candidates, self.config.bit_vector_bits)
-            return candidates, vectors
-
+        tasks = candidate_vector_tasks(self._site_ids(), query_graph, self.config.bit_vector_bits)
         per_site_vectors = []
         internal_candidate_total = 0
-        for site, (candidates, vectors) in self._run_per_site(site_task):
-            internal_candidate_total += sum(len(values) for values in candidates.values())
+        for result in self._run_site_tasks(tasks, timer, STAGE_CANDIDATES):
+            internal_candidate_total += result.value.internal_candidates
+            vectors = result.value.vectors
             per_site_vectors.append(vectors)
             shipped = self.cluster.bus.send(
-                site.site_id, COORDINATOR, "candidate_vectors", list(vectors.values()), STAGE_CANDIDATES
+                result.site_id, COORDINATOR, "candidate_vectors", list(vectors.values()), STAGE_CANDIDATES
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -306,28 +340,24 @@ class GStoreDEngine:
     ) -> Tuple[List[Binding], Dict[int, List[LocalPartialMatch]]]:
         stage = stats.stage(STAGE_PARTIAL_EVAL)
         edge_order = plan.edge_order if plan is not None else None
-
-        def site_task(site):
-            with timer.measure(STAGE_PARTIAL_EVAL, site.site_id):
-                local_results = list(site.local_evaluate(query))
-                evaluator = PartialEvaluator(
-                    site.fragment,
-                    graph=site.graph,
-                    paranoid=self.config.paranoid_validation,
-                    edge_order=edge_order,
-                )
-                outcome = evaluator.evaluate(query_graph, candidate_filter=candidate_filter)
-            return local_results, outcome
-
+        tasks = partial_eval_tasks(
+            self._site_ids(),
+            query,
+            query_graph,
+            edge_order,
+            candidate_filter,
+            self.config.paranoid_validation,
+        )
         local_bindings: List[Binding] = []
         lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
         filtered_branches = 0
-        for site, (local_results, outcome) in self._run_per_site(site_task):
-            local_bindings.extend(local_results)
-            lpms_by_site[site.site_id] = outcome.local_partial_matches
+        for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL):
+            outcome = result.value
+            local_bindings.extend(outcome.local_matches)
+            lpms_by_site[result.site_id] = outcome.local_partial_matches
             filtered_branches += outcome.branches_pruned_by_filter
             shipped = self.cluster.bus.send(
-                site.site_id, COORDINATOR, "local_matches", local_results, STAGE_PARTIAL_EVAL
+                result.site_id, COORDINATOR, "local_matches", outcome.local_matches, STAGE_PARTIAL_EVAL
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -351,19 +381,15 @@ class GStoreDEngine:
         stage = stats.stage(STAGE_PRUNING)
         if not self.config.use_lec_pruning:
             return lpms_by_site
-        site_ids = sorted(lpms_by_site)
-
-        def feature_task(site_id: int) -> Dict[LECFeature, List[LocalPartialMatch]]:
-            with timer.measure(STAGE_PRUNING, site_id):
-                return compute_lec_features(lpms_by_site[site_id])
 
         classes_by_site: Dict[int, Dict[LECFeature, List[LocalPartialMatch]]] = {}
         features_by_site: Dict[int, List[LECFeature]] = {}
-        for site_id, classes in zip(site_ids, self.backend.map(feature_task, site_ids)):
-            classes_by_site[site_id] = classes
-            features_by_site[site_id] = list(classes)
+        for result in self._run_site_tasks(lec_feature_tasks(lpms_by_site), timer, STAGE_PRUNING):
+            classes = result.value
+            classes_by_site[result.site_id] = classes
+            features_by_site[result.site_id] = list(classes)
             shipped = self.cluster.bus.send(
-                site_id, COORDINATOR, "lec_features", list(classes), STAGE_PRUNING
+                result.site_id, COORDINATOR, "lec_features", list(classes), STAGE_PRUNING
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
@@ -375,17 +401,11 @@ class GStoreDEngine:
             )
             stage.shipped_bytes += shipped
             stage.messages += 1
-        def filter_task(site_id: int) -> List[LocalPartialMatch]:
-            with timer.measure(STAGE_PRUNING, site_id):
-                kept: List[LocalPartialMatch] = []
-                for feature, members in classes_by_site[site_id].items():
-                    if feature in surviving_features[site_id]:
-                        kept.extend(members)
-            return kept
 
         surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
-        for site_id, kept in zip(site_ids, self.backend.map(filter_task, site_ids)):
-            surviving_by_site[site_id] = kept
+        filter_tasks = lec_filter_tasks(classes_by_site, surviving_features)
+        for result in self._run_site_tasks(filter_tasks, timer, STAGE_PRUNING):
+            surviving_by_site[result.site_id] = result.value
         stage.site_times_s.update(timer.site_times(STAGE_PRUNING))
         stage.coordinator_time_s += timer.elapsed(STAGE_PRUNING, COORDINATOR)
         self._charge_network(stage)

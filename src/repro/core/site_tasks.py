@@ -1,0 +1,202 @@
+"""The gStoreD engine's per-site stage bodies as picklable site tasks.
+
+PR 2 extracted the four per-site stage bodies of :class:`~repro.core.engine.GStoreDEngine`
+into closures; this module completes the refactor the process-pool backend
+forces: every stage body is now a *module-level* handler registered with
+:mod:`repro.exec.tasks`, taking exactly ``(site, payload)`` and returning a
+plain picklable value.  No handler touches the cluster, the message bus, the
+stage timers or the statistics — those live in the coordinator, which builds
+the :class:`~repro.exec.tasks.SiteTask` descriptors (via the ``*_tasks``
+helpers below) and folds the returned values into shared state in its
+deterministic ``site_id``-ordered merge.
+
+Payload and result types are deliberately explicit: what a stage needs goes
+*in* through the payload (query, query graph, planner edge order, candidate
+filter, config knobs), and what the coordinator accounts for comes *out*
+through small result dataclasses — the same objects whose shipment the
+message bus then charges, so ``shipped_bytes``/``messages`` cannot depend on
+which process produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exec.tasks import SiteTask, register_site_task
+from ..sparql.algebra import SelectQuery
+from ..sparql.bindings import Binding
+from ..sparql.query_graph import QueryGraph
+from .candidate_exchange import CandidateBitVector, GlobalCandidateFilter, build_site_vectors
+from .lec import LECFeature, compute_lec_features
+from .partial_eval import PartialEvaluator
+from .partial_match import LocalPartialMatch
+
+#: Task names of the engine's per-site stage bodies.
+TASK_LOCAL_EVAL = "engine.local_eval"
+TASK_CANDIDATE_VECTORS = "engine.candidate_vectors"
+TASK_PARTIAL_EVAL = "engine.partial_eval"
+TASK_LEC_FEATURES = "engine.lec_features"
+TASK_LEC_FILTER = "engine.lec_filter"
+
+
+# ----------------------------------------------------------------------
+# Result payloads (explicit stage outputs)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CandidateVectorsOutput:
+    """One site's Algorithm 4 step: candidate count + compressed vectors."""
+
+    #: Total internal candidates over all query vertices (a stage counter;
+    #: the raw candidate sets themselves never leave the site).
+    internal_candidates: int
+    #: Per-variable fixed-width bit vectors, the only thing shipped.
+    vectors: Dict[object, CandidateBitVector]
+
+
+@dataclass(frozen=True)
+class PartialEvalOutput:
+    """One site's partial-evaluation step: complete + partial local matches."""
+
+    #: Fragment-local complete matches (shipped to the coordinator as-is).
+    local_matches: List[Binding]
+    #: The site's local partial matches (Definition 5), kept for pruning.
+    local_partial_matches: List[LocalPartialMatch]
+    #: Extended-candidate branches cut by the stage-1 bit-vector filter.
+    branches_pruned_by_filter: int
+
+
+# ----------------------------------------------------------------------
+# Stage handlers (module-level, picklable by reference)
+# ----------------------------------------------------------------------
+@register_site_task(TASK_LOCAL_EVAL)
+def run_local_eval(site, payload: Mapping[str, object]) -> List[Binding]:
+    """Evaluate the query entirely inside the site's fragment.
+
+    The star-query shortcut: every match of a star query is contained in a
+    single fragment because crossing edges are replicated.
+    """
+    query: SelectQuery = payload["query"]
+    return list(site.local_evaluate(query))
+
+
+@register_site_task(TASK_CANDIDATE_VECTORS)
+def run_candidate_vectors(site, payload: Mapping[str, object]) -> CandidateVectorsOutput:
+    """Compute the site's internal candidates and compress them to bit vectors."""
+    query_graph: QueryGraph = payload["query_graph"]
+    candidates = site.internal_candidates(query_graph)
+    vectors = build_site_vectors(candidates, payload["bit_vector_bits"])
+    total = sum(len(values) for values in candidates.values())
+    return CandidateVectorsOutput(internal_candidates=total, vectors=vectors)
+
+
+@register_site_task(TASK_PARTIAL_EVAL)
+def run_partial_eval(site, payload: Mapping[str, object]) -> PartialEvalOutput:
+    """Enumerate the site's complete local matches and local partial matches."""
+    query: SelectQuery = payload["query"]
+    query_graph: QueryGraph = payload["query_graph"]
+    candidate_filter: Optional[GlobalCandidateFilter] = payload["candidate_filter"]
+    local_results = list(site.local_evaluate(query))
+    evaluator = PartialEvaluator(
+        site.fragment,
+        graph=site.graph,
+        paranoid=payload["paranoid"],
+        edge_order=payload["edge_order"],
+    )
+    outcome = evaluator.evaluate(query_graph, candidate_filter=candidate_filter)
+    return PartialEvalOutput(
+        local_matches=local_results,
+        local_partial_matches=outcome.local_partial_matches,
+        branches_pruned_by_filter=outcome.branches_pruned_by_filter,
+    )
+
+
+@register_site_task(TASK_LEC_FEATURES, payload_bound=True)
+def run_lec_features(site, payload: Mapping[str, object]) -> Dict[LECFeature, List[LocalPartialMatch]]:
+    """Group the site's local partial matches into LEC equivalence classes.
+
+    The LPMs arrive through the payload (the coordinator collected them in
+    the partial-evaluation merge), so this handler is site-resident only for
+    scheduling symmetry — it reads nothing from the fragment.  Marked
+    payload-bound: grouping is a dictionary pass over data that would have to
+    be pickled twice to ship, so process pools keep it in the coordinator.
+    """
+    del site
+    return compute_lec_features(payload["lpms"])
+
+
+@register_site_task(TASK_LEC_FILTER, payload_bound=True)
+def run_lec_filter(site, payload: Mapping[str, object]) -> List[LocalPartialMatch]:
+    """Drop the site's LPMs whose LEC feature the coordinator pruned.
+
+    Payload-bound for the same reason as :func:`run_lec_features`: a set
+    membership scan is far cheaper than round-tripping the LPM classes
+    through a worker process.
+    """
+    del site
+    surviving = payload["surviving"]
+    kept: List[LocalPartialMatch] = []
+    for feature, members in payload["classes"].items():
+        if feature in surviving:
+            kept.extend(members)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Descriptor builders (what the engine's stages submit)
+# ----------------------------------------------------------------------
+def local_eval_tasks(site_ids: Sequence[int], query: SelectQuery) -> List[SiteTask]:
+    """Star-shortcut fan-out: evaluate ``query`` locally at every site."""
+    return [SiteTask(site_id, TASK_LOCAL_EVAL, {"query": query}) for site_id in site_ids]
+
+
+def candidate_vector_tasks(
+    site_ids: Sequence[int], query_graph: QueryGraph, bit_vector_bits: int
+) -> List[SiteTask]:
+    """Algorithm 4 fan-out: per-site candidate bit-vector compression."""
+    payload = {"query_graph": query_graph, "bit_vector_bits": bit_vector_bits}
+    return [SiteTask(site_id, TASK_CANDIDATE_VECTORS, payload) for site_id in site_ids]
+
+
+def partial_eval_tasks(
+    site_ids: Sequence[int],
+    query: SelectQuery,
+    query_graph: QueryGraph,
+    edge_order: Optional[Sequence[int]],
+    candidate_filter: Optional[GlobalCandidateFilter],
+    paranoid: bool,
+) -> List[SiteTask]:
+    """Partial-evaluation fan-out with every input made explicit."""
+    payload = {
+        "query": query,
+        "query_graph": query_graph,
+        "edge_order": tuple(edge_order) if edge_order is not None else None,
+        "candidate_filter": candidate_filter,
+        "paranoid": paranoid,
+    }
+    return [SiteTask(site_id, TASK_PARTIAL_EVAL, payload) for site_id in site_ids]
+
+
+def lec_feature_tasks(
+    lpms_by_site: Mapping[int, List[LocalPartialMatch]]
+) -> List[SiteTask]:
+    """LEC compression fan-out, one task per site in ``site_id`` order."""
+    return [
+        SiteTask(site_id, TASK_LEC_FEATURES, {"lpms": lpms_by_site[site_id]})
+        for site_id in sorted(lpms_by_site)
+    ]
+
+
+def lec_filter_tasks(
+    classes_by_site: Mapping[int, Dict[LECFeature, List[LocalPartialMatch]]],
+    surviving_by_site: Mapping[int, object],
+) -> List[SiteTask]:
+    """LEC filtering fan-out: keep only the surviving classes' members."""
+    return [
+        SiteTask(
+            site_id,
+            TASK_LEC_FILTER,
+            {"classes": classes_by_site[site_id], "surviving": surviving_by_site[site_id]},
+        )
+        for site_id in sorted(classes_by_site)
+    ]

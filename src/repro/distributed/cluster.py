@@ -13,7 +13,7 @@ from __future__ import annotations
 import weakref
 from typing import Dict, Iterator, List, Optional
 
-from ..exec import ExecutorBackend, run_per_site
+from ..exec import ExecutorBackend, SerialBackend, SiteTask
 from ..partition.fragment import PartitionedGraph
 from ..planner.optimizer import QueryPlanner
 from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
@@ -83,9 +83,17 @@ class Cluster:
         summaries (the coordinator's global view of the data distribution).
 
         With a backend the per-site summaries are collected through its
-        fan-out (the summaries merge in ``site_id`` order either way)."""
-        per_site = run_per_site(self, lambda site: site.graph_statistics(), backend)
-        return aggregate_graph_statistics(statistics for _, statistics in per_site)
+        fan-out — expressed as :class:`~repro.exec.SiteTask` descriptors so
+        even a process pool can run it — and the summaries merge in
+        ``site_id`` order either way."""
+        from .site import GRAPH_STATISTICS_TASK
+
+        tasks = [
+            SiteTask(site_id, GRAPH_STATISTICS_TASK)
+            for site_id in sorted(site.site_id for site in self._sites)
+        ]
+        results = (backend or SerialBackend()).map_site_tasks(tasks, self)
+        return aggregate_graph_statistics(result.value for result in results)
 
     def coordinator_planner(
         self,

@@ -198,10 +198,18 @@ class StageTimer:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
-            key = (stage, site_id)
-            with self._lock:
-                self._elapsed[key] = self._elapsed.get(key, 0.0) + elapsed
+            self.record(stage, site_id, time.perf_counter() - started)
+
+    def record(self, stage: str, site_id: int, elapsed_s: float) -> None:
+        """Accumulate an externally measured duration for ``(stage, site_id)``.
+
+        Used by the execution runtime: site tasks measure their own handler
+        wall-clock (possibly in another process, where this timer does not
+        exist) and the engine's serial merge records the samples here.
+        """
+        key = (stage, site_id)
+        with self._lock:
+            self._elapsed[key] = self._elapsed.get(key, 0.0) + elapsed_s
 
     def elapsed(self, stage: str, site_id: int = COORDINATOR) -> float:
         with self._lock:

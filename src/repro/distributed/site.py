@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from ..exec.tasks import register_site_task
 from ..partition.fragment import Fragment
 from ..planner.optimizer import QueryPlanner
 from ..planner.statistics import GraphStatistics
@@ -101,3 +102,15 @@ class Site:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<Site {self.name} fragment={self.fragment.name} triples={len(self.store)}>"
+
+
+#: Task name under which a site's planner-statistics summary is collected
+#: (used by :meth:`repro.distributed.Cluster.graph_statistics`).
+GRAPH_STATISTICS_TASK = "graph_statistics"
+
+
+@register_site_task(GRAPH_STATISTICS_TASK)
+def _graph_statistics_task(site: Site, payload) -> GraphStatistics:
+    """Site task: summarize this site's fragment for the coordinator planner."""
+    del payload  # the summary needs no inputs beyond the site itself
+    return site.graph_statistics()

@@ -6,27 +6,35 @@ candidate compression, partial evaluation and LEC feature extraction all run
 nevertheless walked the sites in a sequential ``for`` loop; this module
 abstracts that loop behind an :class:`ExecutorBackend` so the same engine
 code can run the per-site bodies serially (the default, and the reference
-behavior) or on a thread pool.
+behavior), on a thread pool, or on a process pool that sidesteps the GIL for
+real multi-core speedup.
 
 Determinism contract
 --------------------
 
 Whatever the backend, :meth:`ExecutorBackend.map` returns results in
-*submission order* — never completion order — and :func:`run_per_site`
-always pairs sites with results in ascending ``site_id`` order.  Engines
-keep all shared-state mutation (message-bus accounting, statistics
-accumulation) in the serial merge that consumes these ordered results, so
-answers, ``shipped_bytes`` and ``messages`` are bit-identical regardless of
-the backend or worker count.  The cross-engine equivalence and determinism
-tests under ``tests/exec/`` enforce exactly this.
+*submission order* — never completion order — and :func:`run_per_site` /
+:meth:`ExecutorBackend.map_site_tasks` always pair sites with results in
+ascending ``site_id`` order.  Engines keep all shared-state mutation
+(message-bus accounting, statistics accumulation) in the serial merge that
+consumes these ordered results, so answers, ``shipped_bytes`` and
+``messages`` are bit-identical regardless of the backend or worker count.
+The cross-engine equivalence and determinism tests under ``tests/exec/``
+enforce exactly this.  See ``docs/execution.md`` for the full contract and
+the picklability requirements of process-executed tasks.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
+import weakref
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
+
+from .tasks import PAYLOAD_BOUND_STAGES, SiteTask, SiteTaskResult, execute_site_task
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,10 +42,12 @@ R = TypeVar("R")
 #: Backend names accepted by :func:`make_backend` / ``EngineConfig.executor``.
 SERIAL = "serial"
 THREADS = "threads"
-EXECUTOR_CHOICES = (SERIAL, THREADS)
+PROCESSES = "processes"
+EXECUTOR_CHOICES = (SERIAL, THREADS, PROCESSES)
 
 #: Environment variables resolving the defaults (used by the CI matrix to run
-#: the whole suite over the threaded path without touching any test).
+#: the whole suite over the threaded and process paths without touching any
+#: test).
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
 
@@ -46,7 +56,12 @@ def default_max_workers() -> int:
     """Worker count used when none is configured: $REPRO_MAX_WORKERS or CPU count."""
     from_env = os.environ.get(MAX_WORKERS_ENV_VAR)
     if from_env is not None:
-        workers = int(from_env)
+        try:
+            workers = int(from_env)
+        except ValueError:
+            raise ValueError(
+                f"${MAX_WORKERS_ENV_VAR} must be an integer worker count, got {from_env!r}"
+            ) from None
         if workers < 1:
             raise ValueError(f"{MAX_WORKERS_ENV_VAR} must be >= 1, got {workers}")
         return workers
@@ -64,7 +79,28 @@ class ExecutorBackend(ABC):
         """Run ``fn`` over ``items``; results come back in submission order.
 
         The first exception raised by any task propagates to the caller.
+        Process-based backends additionally require ``fn`` and every item to
+        be picklable (module-level function, plain-data items).
         """
+
+    def map_site_tasks(
+        self,
+        tasks: Sequence[SiteTask],
+        cluster,
+        site_options: Optional[Mapping[str, object]] = None,
+    ) -> List[SiteTaskResult]:
+        """Run a batch of :class:`~repro.exec.tasks.SiteTask` descriptors.
+
+        In-process backends resolve each task's site from the live
+        ``cluster``; the process-pool backend overrides this to ship the
+        descriptors to workers bootstrapped with the cluster's fragments
+        (``site_options`` carries the worker-side knobs, e.g. planner
+        settings).  Results come back in submission order either way.
+        """
+        del site_options  # only process workers need bootstrap options
+        tasks = list(tasks)
+        site_of = {site.site_id: site for site in cluster}
+        return self.map(lambda task: execute_site_task(task, site_of[task.site_id]), tasks)
 
     def close(self) -> None:
         """Release any worker resources; the backend stays usable afterwards
@@ -128,6 +164,166 @@ class ThreadPoolBackend(ExecutorBackend):
             self._pool = None
 
 
+class ProcessPoolBackend(ExecutorBackend):
+    """Run site-local tasks on a ``concurrent.futures`` process pool.
+
+    This is the backend that delivers true multi-core speedup on a stock
+    (GIL) CPython build: each worker process bootstraps its own copy of every
+    site exactly once — the pool initializer rebuilds them from picklable
+    fragment payloads (:class:`~repro.exec.worker.WorkerBootstrap`) — and
+    then executes :class:`~repro.exec.tasks.SiteTask` descriptors, so
+    per-task traffic is limited to the explicit stage payloads and results.
+
+    The pool is created lazily on the first multi-task batch and is *bound*
+    to the cluster whose fragments it bootstrapped; mapping tasks for a
+    different cluster (or different site options) transparently rebuilds the
+    pool.  Single-item batches run inline in the coordinator, mirroring
+    :class:`ThreadPoolBackend` — there is nothing to overlap.
+    """
+
+    name = PROCESSES
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        workers = default_max_workers() if max_workers is None else max_workers
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {workers}")
+        self.max_workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Weak reference to the cluster the current pool was bootstrapped
+        #: for, plus the options it was bootstrapped with.  Weak, so a dead
+        #: cluster can never alias a new one at the same address.
+        self._bound_cluster: Optional["weakref.ref"] = None
+        self._bound_options: Optional[Tuple[Tuple[str, object], ...]] = None
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _main_is_reimportable() -> bool:
+        """Whether spawn-style start methods can rebuild ``__main__``.
+
+        ``spawn``/``forkserver`` workers re-import the parent's main module;
+        an interactive session, a ``python -`` heredoc or a REPL has no
+        importable main, so those methods would crash the pool.
+        """
+        import os
+        import sys
+
+        main = sys.modules.get("__main__")
+        if main is None:
+            return False
+        if getattr(getattr(main, "__spec__", None), "name", None):
+            return True
+        path = getattr(main, "__file__", None)
+        return bool(path) and os.path.exists(path)
+
+    @classmethod
+    def _mp_context(cls):
+        """The start method for worker processes, chosen per pool creation.
+
+        ``fork`` while the coordinator is single-threaded: cheapest, and the
+        only method that works for interactive/stdin-driven parents (the
+        spawn-style methods must re-import ``__main__``, which a REPL cannot
+        provide).  With live coordinator threads — e.g. a thread-pool
+        backend running next to this one — fork could inherit a lock held
+        mid-operation (CPython 3.12+ warns about exactly this), so prefer
+        ``forkserver`` then: everything shipped to workers is spawn-safe by
+        design (module-level handlers, plain-data bootstrap).  A threaded
+        *and* non-reimportable coordinator keeps fork — a certain crash is
+        worse than a theoretical lock inheritance.
+        """
+        methods = multiprocessing.get_all_start_methods()
+        fork_available = "fork" in methods
+        if fork_available and (
+            threading.active_count() == 1 or not cls._main_is_reimportable()
+        ):
+            return multiprocessing.get_context("fork")
+        if "forkserver" in methods:
+            context = multiprocessing.get_context("forkserver")
+            # Preload the worker module (and with it the whole repro stack)
+            # into the fork server once, so each worker forks pre-imported
+            # instead of re-importing per pool.  A no-op after the server
+            # has started.
+            context.set_forkserver_preload(["repro.exec.worker"])
+            return context
+        return multiprocessing.get_context()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """A pool without site bootstrap, for plain :meth:`map` batches."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._mp_context()
+            )
+        return self._pool
+
+    def _bind_cluster(self, cluster, site_options: Optional[Mapping[str, object]]) -> None:
+        """Make sure the pool's workers are bootstrapped for ``cluster``.
+
+        ``site_options`` are normalized over the bootstrap defaults before
+        comparing, so a caller passing no options (``Cluster.graph_statistics``)
+        and a caller passing the default options (an engine with a default
+        config) share one warm pool instead of rebinding back and forth.
+        """
+        from .worker import WorkerBootstrap, initialize_worker, default_site_options
+
+        options = tuple(sorted({**default_site_options(), **(site_options or {})}.items()))
+        bound = self._bound_cluster() if self._bound_cluster is not None else None
+        if self._pool is not None and bound is cluster and self._bound_options == options:
+            return
+        self.close()
+        bootstrap = WorkerBootstrap.from_cluster(cluster, **dict(options))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=self._mp_context(),
+            initializer=initialize_worker,
+            initargs=(bootstrap,),
+        )
+        self._bound_cluster = weakref.ref(cluster)
+        self._bound_options = options
+
+    # ------------------------------------------------------------------
+    # ExecutorBackend API
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def map_site_tasks(
+        self,
+        tasks: Sequence[SiteTask],
+        cluster,
+        site_options: Optional[Mapping[str, object]] = None,
+    ) -> List[SiteTaskResult]:
+        tasks = list(tasks)
+        if len(tasks) <= 1 or all(task.stage in PAYLOAD_BOUND_STAGES for task in tasks):
+            # Run inline against the coordinator's live sites — same handler,
+            # same fragment, no pickling.  Single-item batches have nothing
+            # to overlap; payload-bound stages (pure regrouping of large,
+            # already-materialized data) cost more to ship than to run.
+            site_of = {site.site_id: site for site in cluster}
+            return [execute_site_task(task, site_of[task.site_id]) for task in tasks]
+        self._bind_cluster(cluster, site_options)
+        assert self._pool is not None
+        return list(self._pool.map(execute_site_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._bound_cluster = None
+        self._bound_options = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Engines own their backends and close() them, but test code that
+        # drops an engine on the floor must not leak worker processes.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 def make_backend(
     executor: Optional[str] = None, max_workers: Optional[int] = None
 ) -> ExecutorBackend:
@@ -143,6 +339,8 @@ def make_backend(
         return SerialBackend()
     if chosen == THREADS:
         return ThreadPoolBackend(max_workers)
+    if chosen == PROCESSES:
+        return ProcessPoolBackend(max_workers)
     raise ValueError(
         f"unknown executor {chosen!r}; expected one of {', '.join(EXECUTOR_CHOICES)}"
     )
@@ -156,6 +354,12 @@ def run_per_site(
     Returns ``[(site, fn(site)), ...]`` sorted by ``site_id`` no matter how
     the backend schedules the work, so callers can fold results into shared
     state deterministically.
+
+    ``fn`` may be any callable (closures included), which is why this helper
+    only suits *in-process* backends; work that must be able to run on the
+    process pool is expressed as :class:`~repro.exec.tasks.SiteTask`
+    descriptors and dispatched through
+    :meth:`ExecutorBackend.map_site_tasks` instead.
     """
     sites = sorted(cluster, key=lambda site: site.site_id)
     results = (backend or SerialBackend()).map(fn, sites)

@@ -1,0 +1,139 @@
+"""Site-task descriptors: the picklable unit of per-site work.
+
+The thread-pool backend of PR 2 could fan closures out over the sites, but a
+closure captures the engine, the cluster and the message bus — none of which
+can (or should) cross a process boundary.  This module replaces closures with
+*descriptors*: a :class:`SiteTask` names the target site, a registered stage
+handler and an explicit, picklable payload.  Handlers are plain module-level
+functions registered under a string key, so a worker process can resolve the
+same handler by name after unpickling the descriptor.
+
+The flow is symmetric across backends:
+
+* in-process backends (serial, threads) resolve the task's site from the live
+  :class:`~repro.distributed.Cluster` and call the handler directly;
+* the process-pool backend pickles the descriptor to a worker whose
+  bootstrapped site registry (:mod:`repro.exec.worker`) supplies the site.
+
+Either way a handler receives ``(site, payload)`` and returns a picklable
+value; :func:`execute_site_task` wraps it with the measured wall-clock time so
+the engine's serial merge can feed the per-site stage timers without the
+tasks ever touching shared state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+#: Registered stage handlers, keyed by task name.  Handlers are registered at
+#: import time by the modules that define them (:mod:`repro.core.site_tasks`,
+#: :mod:`repro.distributed.site`); worker processes import the same modules,
+#: so both sides of a process boundary resolve identical functions.
+_HANDLERS: Dict[str, Callable[[Any, Mapping[str, Any]], Any]] = {}
+
+#: Stages registered with ``payload_bound=True``: their input/output payload
+#: dwarfs their compute (pure regrouping or filtering of already-materialized
+#: data), so shipping them to another process costs more in pickling than the
+#: parallelism could ever return.  Process pools run these inline in the
+#: coordinator; results are bit-identical either way — this is purely a
+#: scheduling decision.
+PAYLOAD_BOUND_STAGES: set = set()
+
+
+@dataclass(frozen=True)
+class SiteTask:
+    """One unit of per-site work: ``(site_id, stage, payload)``.
+
+    ``payload`` must contain only picklable values — it is the *entire* input
+    of the handler beyond the site itself.  Handlers must not reach for the
+    cluster, the message bus or the engine; that is what makes the same task
+    executable in another process.
+    """
+
+    site_id: int
+    stage: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SiteTaskResult:
+    """A handler's return value plus the wall-clock seconds it took.
+
+    ``elapsed_s`` is measured around the handler alone (no pickling, no
+    queueing), so the engine's stage timers report comparable per-site compute
+    times for every backend.
+    """
+
+    site_id: int
+    stage: str
+    elapsed_s: float
+    value: Any
+
+
+def register_site_task(stage: str, payload_bound: bool = False) -> Callable[[Callable], Callable]:
+    """Decorator registering the decorated function as the handler for ``stage``.
+
+    ``payload_bound=True`` marks the stage as cheaper to run inline than to
+    ship (see :data:`PAYLOAD_BOUND_STAGES`).  Registration is idempotent per
+    name but refuses to silently replace a different function — two modules
+    claiming the same stage name is a bug.
+    """
+
+    def decorator(fn: Callable[[Any, Mapping[str, Any]], Any]) -> Callable:
+        existing = _HANDLERS.get(stage)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"site task {stage!r} is already registered to {existing!r}")
+        _HANDLERS[stage] = fn
+        if payload_bound:
+            PAYLOAD_BOUND_STAGES.add(stage)
+        return fn
+
+    return decorator
+
+
+def registered_site_tasks() -> Dict[str, Callable]:
+    """A snapshot of the registered handlers (importing the built-ins first)."""
+    _import_builtin_handlers()
+    return dict(_HANDLERS)
+
+
+def _import_builtin_handlers() -> None:
+    """Import every module that registers built-in handlers.
+
+    Deferred to call time: :mod:`repro.core.site_tasks` and
+    :mod:`repro.distributed.site` both import :mod:`repro.exec`, so importing
+    them from the top of this module would be circular.  Worker processes hit
+    this on their first task, which is exactly when they need the registry.
+    """
+    from ..core import site_tasks  # noqa: F401  (registers the engine's stage tasks)
+    from ..distributed import site  # noqa: F401  (registers graph_statistics)
+
+
+def _resolve_handler(stage: str) -> Callable[[Any, Mapping[str, Any]], Any]:
+    if stage not in _HANDLERS:
+        _import_builtin_handlers()
+    try:
+        return _HANDLERS[stage]
+    except KeyError:
+        known = ", ".join(sorted(_HANDLERS)) or "none"
+        raise LookupError(f"no site task registered as {stage!r} (known: {known})") from None
+
+
+def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskResult:
+    """Run ``task`` against ``site`` and return its timed result.
+
+    With ``site=None`` the site is resolved from this process's bootstrapped
+    worker registry (:func:`repro.exec.worker.resolve_site`) — the process-pool
+    path, where this function is the picklable top-level entry point every
+    worker executes.  In-process backends pass the live site explicitly.
+    """
+    if site is None:
+        from . import worker
+
+        site = worker.resolve_site(task.site_id)
+    handler = _resolve_handler(task.stage)
+    started = time.perf_counter()
+    value = handler(site, task.payload)
+    return SiteTaskResult(task.site_id, task.stage, time.perf_counter() - started, value)

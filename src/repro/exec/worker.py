@@ -1,0 +1,121 @@
+"""Worker-process bootstrap for the process-pool execution backend.
+
+A process-pool worker cannot share the parent's :class:`~repro.distributed.Cluster`
+— sites hold triple-store indexes, planners and locks that must not (and in
+part cannot) cross a process boundary.  Instead, each worker *rebuilds* every
+site exactly once when it starts: the pool's initializer receives a
+:class:`WorkerBootstrap` containing plain-data fragment payloads
+(:func:`repro.partition.serialization.fragment_to_payload`) plus the planner
+settings, and materializes one private :class:`~repro.distributed.Site` per
+fragment in a module-level registry.  Every subsequent
+:class:`~repro.exec.tasks.SiteTask` the worker receives resolves its site
+from that registry by id — the task itself only ships its explicit payload.
+
+Workers are deliberately dumb: they never see the message bus, the stage
+timers or the statistics.  All accounting happens in the parent's
+deterministic serial merge, which is what keeps answers, ``shipped_bytes``
+and ``messages`` bit-identical across serial, threaded and process execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..partition.serialization import fragment_from_payload, fragment_to_payload
+from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
+
+#: This process's bootstrapped sites, keyed by ``site_id``.  ``None`` until
+#: :func:`initialize_worker` runs (i.e. in the coordinator process, and in
+#: worker processes before their pool initializer fired).
+_WORKER_SITES: Optional[Dict[int, object]] = None
+
+
+@dataclass(frozen=True)
+class WorkerBootstrap:
+    """Everything a worker needs to rebuild the cluster's sites once.
+
+    The bootstrap is pickled to each worker exactly once (as the pool
+    initializer's argument); per-task traffic only carries the much smaller
+    stage payloads.
+    """
+
+    #: Plain-data fragment payloads, one per site, in fragment-id order.
+    fragments: Tuple[Mapping[str, object], ...]
+    #: Mirror of ``EngineConfig.use_planner`` for the worker-side stores.
+    use_planner: bool = True
+    #: Mirror of ``EngineConfig.plan_cache_size`` for the worker-side stores.
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster,
+        use_planner: bool = True,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> "WorkerBootstrap":
+        """Snapshot ``cluster``'s fragments into a picklable bootstrap."""
+        sites = sorted(cluster, key=lambda site: site.site_id)
+        return cls(
+            fragments=tuple(fragment_to_payload(site.fragment) for site in sites),
+            use_planner=use_planner,
+            plan_cache_size=plan_cache_size,
+        )
+
+
+def default_site_options() -> Dict[str, object]:
+    """The bootstrap's default worker-side knobs, as an options mapping.
+
+    Callers that pass no ``site_options`` (e.g. ``Cluster.graph_statistics``)
+    and callers passing a default engine configuration must resolve to the
+    same pool binding, so both go through this one source of defaults.
+    """
+    return {
+        "use_planner": WorkerBootstrap.use_planner,
+        "plan_cache_size": WorkerBootstrap.plan_cache_size,
+    }
+
+
+def build_sites(bootstrap: WorkerBootstrap) -> Dict[int, object]:
+    """Materialize one :class:`~repro.distributed.Site` per bootstrap fragment."""
+    from ..distributed.site import Site
+
+    sites: Dict[int, object] = {}
+    for payload in bootstrap.fragments:
+        fragment = fragment_from_payload(payload)
+        site = Site(fragment.fragment_id, fragment)
+        if bootstrap.use_planner:
+            site.enable_planner(bootstrap.plan_cache_size)
+        else:
+            site.disable_planner()
+        sites[fragment.fragment_id] = site
+    return sites
+
+
+def initialize_worker(bootstrap: WorkerBootstrap) -> None:
+    """Pool initializer: rebuild every site in this worker process.
+
+    Passed (by reference) as the ``initializer`` of the backend's
+    ``ProcessPoolExecutor``; runs once per worker before any task.
+    """
+    global _WORKER_SITES
+    _WORKER_SITES = build_sites(bootstrap)
+
+
+def worker_is_initialized() -> bool:
+    """``True`` once this process has a bootstrapped site registry."""
+    return _WORKER_SITES is not None
+
+
+def resolve_site(site_id: int):
+    """The bootstrapped site for ``site_id`` in this worker process."""
+    if _WORKER_SITES is None:
+        raise RuntimeError(
+            "no bootstrapped sites in this process: site tasks without an explicit "
+            "site only run inside a process-pool worker initialized by initialize_worker()"
+        )
+    try:
+        return _WORKER_SITES[site_id]
+    except KeyError:
+        known = ", ".join(str(sid) for sid in sorted(_WORKER_SITES)) or "none"
+        raise LookupError(f"worker has no site {site_id} (bootstrapped: {known})") from None

@@ -21,6 +21,9 @@ from .partitioners import (
 )
 from .refinement import RefinementReport, refine_partitioning
 from .serialization import (
+    fragment_from_payload,
+    fragment_to_payload,
+    fragments_to_payloads,
     load_assignment,
     load_partitioning,
     load_workspace,
@@ -43,6 +46,9 @@ __all__ = [
     "compare_partitionings",
     "crossing_edge_distribution",
     "crossing_edge_expectation",
+    "fragment_from_payload",
+    "fragment_to_payload",
+    "fragments_to_payloads",
     "largest_fragment_size",
     "load_assignment",
     "load_partitioning",

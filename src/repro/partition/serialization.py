@@ -12,20 +12,23 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..rdf import graph as graph_module
 from ..rdf.graph import RDFGraph
 from ..rdf.ntriples import dump as dump_ntriples
 from ..rdf.ntriples import load as load_ntriples
-from ..rdf.ntriples import parse_term
+from ..rdf.ntriples import parse_line, parse_term
 from ..rdf.terms import Node
-from .fragment import PartitionedGraph, build_partitioned_graph
+from .fragment import Fragment, PartitionedGraph, build_partitioned_graph
 
 PathLike = Union[str, Path]
 
 #: Format marker written into every assignment file.
 _FORMAT = "repro-partitioning/1"
+
+#: Format marker of a single serialized fragment payload.
+_FRAGMENT_FORMAT = "repro-fragment/1"
 
 
 def assignment_to_dict(partitioned: PartitionedGraph) -> Dict[str, object]:
@@ -74,6 +77,43 @@ def load_partitioning(
         strategy=payload.get("strategy", "loaded"),
         validate=validate,
     )
+
+
+def fragment_to_payload(fragment: Fragment) -> Dict[str, object]:
+    """Plain-data (JSON- and pickle-safe) representation of one fragment.
+
+    Vertices and edges are serialized as N3 text and sorted, so equal
+    fragments always produce equal payloads.  This is the unit the
+    process-pool execution backend ships to its workers: each worker rebuilds
+    every site's fragment from these payloads exactly once, in its
+    initializer (:mod:`repro.exec.worker`).
+    """
+    return {
+        "format": _FRAGMENT_FORMAT,
+        "fragment_id": fragment.fragment_id,
+        "internal_vertices": sorted(vertex.n3() for vertex in fragment.internal_vertices),
+        "extended_vertices": sorted(vertex.n3() for vertex in fragment.extended_vertices),
+        "internal_edges": sorted(edge.n3() for edge in fragment.internal_edges),
+        "crossing_edges": sorted(edge.n3() for edge in fragment.crossing_edges),
+    }
+
+
+def fragment_from_payload(payload: Dict[str, object]) -> Fragment:
+    """Rebuild a :class:`Fragment` written by :func:`fragment_to_payload`."""
+    if payload.get("format") != _FRAGMENT_FORMAT:
+        raise ValueError(f"not a repro fragment payload: {payload.get('format')!r}")
+    return Fragment(
+        fragment_id=int(payload["fragment_id"]),
+        internal_vertices={parse_term(text) for text in payload["internal_vertices"]},
+        extended_vertices={parse_term(text) for text in payload["extended_vertices"]},
+        internal_edges={parse_line(text) for text in payload["internal_edges"]},
+        crossing_edges={parse_line(text) for text in payload["crossing_edges"]},
+    )
+
+
+def fragments_to_payloads(partitioned: PartitionedGraph) -> List[Dict[str, object]]:
+    """Every fragment of ``partitioned`` as a payload, in fragment-id order."""
+    return [fragment_to_payload(fragment) for fragment in partitioned]
 
 
 def save_workspace(partitioned: PartitionedGraph, directory: PathLike) -> Dict[str, Path]:

@@ -50,6 +50,12 @@ class PlanOptimizer:
     # Planning
     # ------------------------------------------------------------------
     def plan(self, query: QueryGraph) -> QueryPlan:
+        """Order ``query``'s vertices greedily by estimated cost.
+
+        Falls back to the static traversal order when no statistics are
+        available (or the query is empty) — the plan is then marked with
+        ``SOURCE_FALLBACK`` so callers can tell the difference.
+        """
         if self._estimator is None or query.num_vertices == 0:
             return self._fallback_plan(query)
         return self._greedy_plan(query, self._estimator)

@@ -75,6 +75,7 @@ class PlanCache:
         self.misses = 0
 
     def get(self, key: ShapeKey) -> Optional[QueryPlan]:
+        """The cached plan for ``key``, refreshing its LRU position (None on miss)."""
         with self._lock:
             plan = self._entries.get(key)
             if plan is None:
@@ -85,6 +86,7 @@ class PlanCache:
             return plan
 
     def put(self, key: ShapeKey, plan: QueryPlan) -> None:
+        """Cache ``plan`` under ``key``, evicting the least recently used entries."""
         with self._lock:
             self._entries[key] = plan
             self._entries.move_to_end(key)
@@ -92,6 +94,7 @@ class PlanCache:
                 self._entries.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop every cached plan and reset the hit/miss counters."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
@@ -112,6 +115,7 @@ class PlanCache:
         return self.hits / lookups if lookups else 0.0
 
     def describe(self) -> Dict[str, object]:
+        """Occupancy and hit-rate counters (what ``repro explain`` reports)."""
         return {
             "size": len(self._entries),
             "maxsize": self.maxsize,

@@ -39,6 +39,7 @@ class PredicateStatistics:
     distinct_objects: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """A JSON-able rendering of this predicate's summary counters."""
         return {
             "count": self.count,
             "distinct_subjects": self.distinct_subjects,
@@ -86,10 +87,12 @@ class GraphStatistics:
         return stats.count if stats is not None else 0
 
     def distinct_subjects(self, predicate: IRI) -> int:
+        """Distinct subject count of ``predicate`` (0 for unseen predicates)."""
         stats = self.predicates.get(predicate)
         return stats.distinct_subjects if stats is not None else 0
 
     def distinct_objects(self, predicate: IRI) -> int:
+        """Distinct object count of ``predicate`` (0 for unseen predicates)."""
         stats = self.predicates.get(predicate)
         return stats.distinct_objects if stats is not None else 0
 

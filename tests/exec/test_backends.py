@@ -124,6 +124,15 @@ class TestMakeBackend:
         with pytest.raises(ValueError):
             default_max_workers()
 
+    @pytest.mark.parametrize("junk", ["four", "", "2.5", " 8x"])
+    def test_default_max_workers_rejects_non_integers_by_name(self, monkeypatch, junk):
+        # A bare int() traceback would not tell the user *which* variable is
+        # malformed; the error must name $REPRO_MAX_WORKERS and echo the value.
+        monkeypatch.setenv(MAX_WORKERS_ENV_VAR, junk)
+        with pytest.raises(ValueError, match=MAX_WORKERS_ENV_VAR) as excinfo:
+            default_max_workers()
+        assert repr(junk) in str(excinfo.value)
+
 
 class TestRunPerSite:
     def test_merges_in_site_id_order(self, example_cluster):

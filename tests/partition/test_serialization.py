@@ -1,24 +1,89 @@
-"""Unit tests for partitioning persistence (save/load assignments and workspaces)."""
+"""Unit tests for partitioning persistence (save/load assignments and workspaces).
+
+The process-pool execution backend rebuilds every site from serialized
+fragment payloads, so these round trips are load-bearing runtime machinery
+now, not just workspace persistence: every partitioner strategy must survive
+``assignment_to_dict`` → load and ``fragment_to_payload`` → rebuild exactly.
+"""
 
 import json
+import pickle
 
 import pytest
 
 from repro.datasets import lubm
 from repro.partition import (
     HashPartitioner,
+    fragment_from_payload,
+    fragment_to_payload,
+    fragments_to_payloads,
     load_assignment,
     load_partitioning,
     load_workspace,
+    make_partitioner,
     save_assignment,
     save_workspace,
 )
 from repro.partition.serialization import assignment_to_dict
 
+#: Every registered partitioner strategy (the CLI's --strategy choices).
+ALL_STRATEGIES = ("hash", "semantic_hash", "metis")
+
 
 @pytest.fixture(scope="module")
 def partitioned():
     return HashPartitioner(4).partition(lubm.generate(scale=1))
+
+
+@pytest.fixture(scope="module")
+def lubm_graph_small():
+    return lubm.generate(scale=1)
+
+
+@pytest.fixture(scope="module", params=ALL_STRATEGIES)
+def strategy_partitioned(request, lubm_graph_small):
+    """One LUBM partitioning per registered strategy."""
+    return make_partitioner(request.param, 4).partition(lubm_graph_small)
+
+
+class TestEveryStrategyRoundTrips:
+    def test_assignment_dict_round_trips(self, strategy_partitioned, tmp_path):
+        path = tmp_path / "assignment.json"
+        save_assignment(strategy_partitioned, path)
+        assert load_assignment(path) == strategy_partitioned.assignment
+
+    def test_rebuilt_partitioning_is_identical(self, strategy_partitioned, tmp_path):
+        path = tmp_path / "assignment.json"
+        save_assignment(strategy_partitioned, path)
+        rebuilt = load_partitioning(strategy_partitioned.graph, path)
+        rebuilt.validate()
+        assert rebuilt.strategy == strategy_partitioned.strategy
+        assert rebuilt.num_fragments == strategy_partitioned.num_fragments
+        for original, restored in zip(strategy_partitioned, rebuilt):
+            assert restored.internal_vertices == original.internal_vertices
+            assert restored.internal_edges == original.internal_edges
+            assert restored.crossing_edges == original.crossing_edges
+            assert restored.extended_vertices == original.extended_vertices
+
+    def test_fragment_payloads_round_trip(self, strategy_partitioned):
+        for fragment in strategy_partitioned:
+            payload = fragment_to_payload(fragment)
+            assert fragment_from_payload(payload) == fragment
+            # Payloads must survive both transports the runtime uses: JSON
+            # (workspaces) and pickle (process-pool worker bootstrap).
+            assert fragment_from_payload(json.loads(json.dumps(payload))) == fragment
+            assert fragment_from_payload(pickle.loads(pickle.dumps(payload))) == fragment
+
+    def test_payloads_are_deterministic(self, strategy_partitioned):
+        first = fragments_to_payloads(strategy_partitioned)
+        second = fragments_to_payloads(strategy_partitioned)
+        assert first == second
+        assert [p["fragment_id"] for p in first] == sorted(p["fragment_id"] for p in first)
+
+
+def test_fragment_payload_rejects_foreign_dicts():
+    with pytest.raises(ValueError, match="fragment payload"):
+        fragment_from_payload({"format": "something/else"})
 
 
 class TestAssignmentRoundTrip:

@@ -2,9 +2,10 @@
 
 For random graphs, random connected BGP queries and random vertex-disjoint
 partitionings, the gStoreD engine under the serial backend, the gStoreD
-engine under the thread-pool backend and the centralized triple store all
-return *identical sorted result sets* — not merely the same multiset, the
-same rows in the same canonical order.
+engine under the thread-pool backend, the gStoreD engine under the
+process-pool backend and the centralized triple store all return *identical
+sorted result sets* — not merely the same multiset, the same rows in the
+same canonical order — and identical per-stage ``shipped_bytes``/``messages``.
 """
 
 from hypothesis import given, settings
@@ -14,6 +15,7 @@ from repro.bench import stage_shipment_snapshot
 from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import random_assignment, random_connected_query, random_graph
 from repro.distributed import build_cluster
+from repro.exec import ProcessPoolBackend
 from repro.partition import build_partitioned_graph
 from repro.store import evaluate_centralized
 
@@ -22,6 +24,8 @@ fragment_counts = st.integers(min_value=1, max_value=4)
 query_sizes = st.integers(min_value=1, max_value=4)
 constant_probabilities = st.sampled_from([0.0, 0.25, 0.5])
 worker_counts = st.sampled_from([2, 3, 8])
+#: The worker counts the process-path acceptance contract names.
+process_worker_counts = st.sampled_from([1, 2, 8])
 
 SERIAL = EngineConfig.full().with_options(executor="serial")
 
@@ -64,6 +68,49 @@ class TestCrossEngineEquivalence:
         assert sorted_rows(threaded.results) == expected_rows
         assert serial.results.same_solutions(expected)
         assert threaded.results.same_solutions(expected)
+
+    @given(seeds, fragment_counts, query_sizes, constant_probabilities, process_worker_counts)
+    @settings(max_examples=8, deadline=None)
+    def test_serial_threads_processes_and_centralized_agree(
+        self, seed, num_fragments, query_edges, constant_probability, workers
+    ):
+        """The full acceptance chain: serial == threads == processes == centralized.
+
+        Every leg is compared on sorted rows *and* on the per-stage
+        ``(shipped_bytes, messages)`` fingerprint, for process worker counts
+        1, 2 and 8.
+        """
+        graph, query, cluster = build_environment(
+            seed, num_fragments, query_edges, constant_probability
+        )
+        expected = evaluate_centralized(graph, query).project(
+            query.effective_projection, distinct=True
+        )
+        expected_rows = sorted_rows(expected)
+
+        cluster.reset_network()
+        serial = GStoreDEngine(cluster, SERIAL).execute(query)
+        serial_snapshot = stage_shipment_snapshot(serial)
+
+        cluster.reset_network()
+        threaded_engine = GStoreDEngine(cluster, EngineConfig.full().with_workers(workers))
+        threaded = threaded_engine.execute(query)
+        threaded_engine.close()
+
+        cluster.reset_network()
+        with ProcessPoolBackend(max_workers=workers) as backend:
+            process_engine = GStoreDEngine(
+                cluster, EngineConfig.full().with_executor("processes", workers), backend=backend
+            )
+            processed = process_engine.execute(query)
+            process_engine.close()
+
+        assert sorted_rows(serial.results) == expected_rows
+        assert sorted_rows(threaded.results) == expected_rows
+        assert sorted_rows(processed.results) == expected_rows
+        assert processed.results.same_solutions(expected)
+        assert stage_shipment_snapshot(threaded) == serial_snapshot
+        assert stage_shipment_snapshot(processed) == serial_snapshot
 
     @given(seeds, fragment_counts, query_sizes)
     @settings(max_examples=6, deadline=None)

@@ -171,6 +171,118 @@ class TestQueryWorkers:
         assert "gStoreD" in capsys.readouterr().err
 
 
+class TestQueryExecutor:
+    QUERY = TestQuery.QUERY
+
+    def test_query_with_process_executor(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "3",
+                "--executor",
+                "processes",
+                "--workers",
+                "2",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "solutions" in output
+        assert "executor=processes x2" in output
+
+    def test_process_and_serial_answers_match(self, dataset_file, capsys):
+        main(["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY, "--limit", "100"])
+        serial_output = capsys.readouterr().out
+        main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "3",
+                "--executor",
+                "processes",
+                "--workers",
+                "2",
+                "--query",
+                self.QUERY,
+                "--limit",
+                "100",
+            ]
+        )
+        process_output = capsys.readouterr().out
+        # Identical solution lines; only the engine banner differs.
+        assert sorted(serial_output.splitlines()[1:]) == sorted(process_output.splitlines()[1:])
+
+    def test_explicit_serial_executor_keeps_reference_banner(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "3",
+                "--executor",
+                "serial",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "solutions" in output
+        assert "executor=" not in output
+
+    def test_serial_executor_with_workers_is_contradictory(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "2",
+                "--executor",
+                "serial",
+                "--workers",
+                "8",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 2
+        assert "--executor serial" in capsys.readouterr().err
+
+    def test_unknown_executor_rejected_by_parser(self, dataset_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--data", str(dataset_file), "--executor", "mpi", "--query", self.QUERY]
+            )
+
+    def test_executor_rejected_for_baseline_engines(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "2",
+                "--engine",
+                "dream",
+                "--executor",
+                "processes",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 2
+        assert "--executor" in capsys.readouterr().err
+
+
 class TestExplain:
     QUERY = (
         "PREFIX ub: <http://example.org/univ-bench#> "
@@ -216,6 +328,27 @@ class TestExplain:
         )
         assert exit_code == 2
         assert "--workers" in capsys.readouterr().err
+
+    def test_explain_with_process_executor(self, dataset_file, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--data",
+                str(dataset_file),
+                "--sites",
+                "3",
+                "--executor",
+                "processes",
+                "--workers",
+                "2",
+                "--query",
+                self.QUERY,
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "statistics:" in output
+        assert "vertex order:" in output
 
 
 class TestExperiment:

@@ -13,8 +13,8 @@ candidate-exchange stage, the number of local partial matches enumerated and
 the number of extended-candidate bindings the filter rejected.
 """
 
-from repro.bench import format_table, prepare_workload, print_experiment
-from repro.core import EngineConfig, GStoreDEngine
+from repro.bench import format_table, prepare_workload, print_experiment, run_query
+from repro.core import EngineConfig
 
 WIDTHS = (256, 1024, 4096, 16384)
 QUERY = "LQ1"
@@ -24,10 +24,8 @@ def sweep_bitvector_widths(num_sites: int):
     workload = prepare_workload("LUBM", scale=1, strategy="hash", num_sites=num_sites)
     rows = []
     for width in WIDTHS:
-        workload.cluster.reset_network()
         config = EngineConfig.full().with_options(bit_vector_bits=width)
-        engine = GStoreDEngine(workload.cluster, config)
-        result = engine.execute(workload.queries[QUERY], query_name=QUERY, dataset="LUBM")
+        result = run_query(workload, QUERY, config)
         stats = result.statistics
         rows.append(
             {

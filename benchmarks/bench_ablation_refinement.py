@@ -8,26 +8,22 @@ to (a) the cost-model value and (b) the actual response time and shipment of
 the full gStoreD engine.
 """
 
+from repro.api import Session
 from repro.bench import format_table, print_experiment
-from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import lubm
-from repro.distributed import build_cluster
 from repro.partition import HashPartitioner, partitioning_cost, refine_partitioning
 
 QUERIES = ("LQ1", "LQ3", "LQ6", "LQ7")
 
 
 def run_workload(partitioned):
-    cluster = build_cluster(partitioned)
-    engine = GStoreDEngine(cluster, EngineConfig.full())
-    queries = lubm.queries()
     total_time = 0.0
     total_shipment = 0.0
-    for name in QUERIES:
-        cluster.reset_network()
-        result = engine.execute(queries[name], query_name=name, dataset="LUBM")
-        total_time += result.statistics.total_time_ms
-        total_shipment += result.statistics.total_shipment_kb
+    with Session.from_partitioned(partitioned, dataset="LUBM", queries=lubm.queries()) as session:
+        for name in QUERIES:
+            result = session.query(name)
+            total_time += result.statistics.total_time_ms
+            total_shipment += result.statistics.total_shipment_kb
     return total_time, total_shipment
 
 

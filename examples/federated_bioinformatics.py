@@ -22,12 +22,10 @@ Run it with::
     python examples/federated_bioinformatics.py
 """
 
-from repro.core import EngineConfig, GStoreDEngine
-from repro.distributed import build_cluster
+from repro import Session
 from repro.partition import build_partitioned_graph, partitioning_cost
 from repro.rdf import Namespace, RDFGraph, Triple
 from repro.sparql import format_query, parse_query
-from repro.store import evaluate_centralized
 
 GENE = Namespace("http://example.org/genes/")
 PATH = Namespace("http://example.org/pathways/")
@@ -91,9 +89,6 @@ def main() -> None:
         print(f"  publisher {fragment.fragment_id}: {fragment.stats()}")
     print("  Section VII cost of this partitioning:", round(partitioning_cost(partitioned).cost, 2))
 
-    cluster = build_cluster(partitioned)
-    engine = GStoreDEngine(cluster, EngineConfig.full())
-
     queries = {
         "drugs reaching a pathway through their protein target": """
             PREFIX ont: <http://example.org/bio-ontology#>
@@ -122,20 +117,22 @@ def main() -> None:
         """,
     }
 
-    for title, text in queries.items():
-        query = parse_query(text)
-        print(f"\n=== {title} ===")
-        print(format_query(query))
-        cluster.reset_network()
-        answer = engine.execute(query, query_name=title, dataset="bio-federation")
-        centralized = evaluate_centralized(graph, query)
-        print(f"solutions: {len(answer.results)} "
-              f"(centralized agrees: {answer.results.same_solutions(centralized.project(query.effective_projection, distinct=True))})")
-        for row in answer.results.to_table()[:5]:
-            print(f"  {row}")
-        stats = answer.statistics
-        print(f"  time: {stats.total_time_ms:.2f} ms, shipment: {stats.total_shipment_kb:.2f} KB, "
-              f"local partial matches: {stats.counter('partial_evaluation', 'local_partial_matches')}")
+    # The session owns the cluster built from the publisher partitioning,
+    # the engines and their pools; the `with` block shuts everything down.
+    with Session.from_partitioned(partitioned, dataset="bio-federation") as session:
+        for title, text in queries.items():
+            query = parse_query(text)
+            print(f"\n=== {title} ===")
+            print(format_query(query))
+            answer = session.query(query, query_name=title)
+            centralized = session.query(query, query_name=title, engine="centralized")
+            agrees = answer.sorted_rows() == centralized.sorted_rows()
+            print(f"solutions: {len(answer)} (centralized agrees: {agrees})")
+            for row in answer.to_dicts()[:5]:
+                print(f"  {row}")
+            stats = answer.statistics
+            print(f"  time: {stats.total_time_ms:.2f} ms, shipment: {stats.total_shipment_kb:.2f} KB, "
+                  f"local partial matches: {stats.counter('partial_evaluation', 'local_partial_matches')}")
 
 
 if __name__ == "__main__":

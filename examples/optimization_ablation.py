@@ -17,41 +17,41 @@ Run it with::
     python examples/optimization_ablation.py
 """
 
+import repro
 from repro.bench import format_table
-from repro.core import ABLATION_CONFIGS, GStoreDEngine
-from repro.datasets import yago
-from repro.distributed import build_cluster
-from repro.partition import HashPartitioner
+from repro.core import ABLATION_CONFIGS
 
 NUM_SITES = 6
 
 
 def main() -> None:
-    graph = yago.generate(scale=1)
-    cluster = build_cluster(HashPartitioner(NUM_SITES).partition(graph))
-    queries = yago.queries()
-    print("Dataset:", graph.stats())
-    print("Cluster:", cluster.stats())
+    # One session prepares the workload; each ablation level is the same
+    # registry engine under a different EngineConfig.
+    with repro.open(dataset="YAGO2", sites=NUM_SITES) as session:
+        print("Dataset:", session.graph.stats())
+        print("Cluster:", session.cluster.stats())
 
-    rows = []
-    for query_name, query in queries.items():
-        for config in ABLATION_CONFIGS:
-            cluster.reset_network()
-            engine = GStoreDEngine(cluster, config)
-            result = engine.execute(query, query_name=query_name, dataset="YAGO2")
-            stats = result.statistics
-            rows.append(
-                {
-                    "query": query_name,
-                    "engine": config.label,
-                    "time_ms": round(stats.total_time_ms, 2),
-                    "shipment_kb": round(stats.total_shipment_kb, 2),
-                    "lpms_found": stats.counter("partial_evaluation", "local_partial_matches"),
-                    "lpms_assembled": stats.counter("assembly", "assembled_local_partial_matches"),
-                    "join_attempts": stats.counter("assembly", "join_attempts"),
-                    "results": stats.num_results,
-                }
-            )
+        rows = []
+        for query_name in session.queries:
+            for config in ABLATION_CONFIGS:
+                session.cluster.reset_network()
+                with repro.make_engine("gstored", session.cluster, config=config) as engine:
+                    result = engine.execute(
+                        session.queries[query_name], query_name=query_name, dataset="YAGO2"
+                    )
+                stats = result.statistics
+                rows.append(
+                    {
+                        "query": query_name,
+                        "engine": config.label,
+                        "time_ms": round(stats.total_time_ms, 2),
+                        "shipment_kb": round(stats.total_shipment_kb, 2),
+                        "lpms_found": stats.counter("partial_evaluation", "local_partial_matches"),
+                        "lpms_assembled": stats.counter("assembly", "assembled_local_partial_matches"),
+                        "join_attempts": stats.counter("assembly", "join_attempts"),
+                        "results": stats.num_results,
+                    }
+                )
     print("\nAblation results (rows grouped by query):")
     print(format_table(rows))
 

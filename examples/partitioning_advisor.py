@@ -21,10 +21,9 @@ Run it with::
     python examples/partitioning_advisor.py
 """
 
+from repro import Session
 from repro.bench import format_table
-from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import lubm
-from repro.distributed import build_cluster
 from repro.partition import (
     HashPartitioner,
     MetisLikePartitioner,
@@ -58,15 +57,15 @@ def main() -> None:
     verification_rows = []
     queries = lubm.queries()
     for candidate in candidates:
-        cluster = build_cluster(candidate)
-        engine = GStoreDEngine(cluster, EngineConfig.full())
-        total_time = 0.0
-        total_shipment = 0.0
-        for name in QUERIES:
-            cluster.reset_network()
-            result = engine.execute(queries[name], query_name=name, dataset="LUBM")
-            total_time += result.statistics.total_time_ms
-            total_shipment += result.statistics.total_shipment_kb
+        # One session per candidate partitioning; session.query handles
+        # engine construction, network resets and pool shutdown.
+        with Session.from_partitioned(candidate, dataset="LUBM", queries=queries) as session:
+            total_time = 0.0
+            total_shipment = 0.0
+            for name in QUERIES:
+                result = session.query(name)
+                total_time += result.statistics.total_time_ms
+                total_shipment += result.statistics.total_shipment_kb
         verification_rows.append(
             {
                 "partitioning": candidate.strategy,

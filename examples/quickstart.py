@@ -1,77 +1,69 @@
 #!/usr/bin/env python3
-"""Quickstart: partition an RDF graph, build a cluster, run a SPARQL query.
+"""Quickstart: open a session, run a SPARQL query, compare engines.
 
-The script walks through the paper's running example (Fig. 1-3):
+The script walks through the paper's running example (Fig. 1-3) on top of
+the ``repro.open`` session API:
 
-1. build the small philosophers RDF graph,
-2. partition it over three simulated sites exactly as in Fig. 1,
+1. open a session over the philosophers graph with the exact three-fragment
+   partitioning of Fig. 1,
+2. peek at what each site computes during partial evaluation,
 3. run the Fig. 2 query ("people influencing Crispin Wright and their
    interests") with the fully optimized gStoreD engine,
-4. print the answers, the per-stage statistics and the local partial matches
-   each fragment produced, and
-5. cross-check the distributed answer against a centralized evaluation.
+4. print the answers, the plan and the per-stage statistics, and
+5. cross-check the distributed answer against the centralized engine from
+   the same session.
 
 Run it with::
 
     python examples/quickstart.py
 """
 
-from repro.core import EngineConfig, GStoreDEngine
+import repro
 from repro.core.partial_eval import evaluate_fragment
-from repro.datasets.paper_example import (
-    build_example_graph,
-    build_example_partitioning,
-    example_query,
-)
-from repro.distributed import build_cluster
 from repro.sparql import QueryGraph, format_query
-from repro.store import evaluate_centralized
 
 
 def main() -> None:
-    graph = build_example_graph()
-    print(f"Loaded the running-example RDF graph: {graph.stats()}")
+    # partitioner="paper" reproduces the exact Fig. 1 fragment assignment.
+    with repro.open(dataset="paper", partitioner="paper") as session:
+        print(f"Loaded the running-example RDF graph: {session.graph.stats()}")
 
-    partitioned = build_example_partitioning()
-    partitioned.validate()
-    print("\nFragments (one per site, Fig. 1):")
-    for fragment in partitioned:
-        print(f"  {fragment.name}: {fragment.stats()}")
+        print("\nFragments (one per site, Fig. 1):")
+        for fragment in session.partitioned:
+            print(f"  {fragment.name}: {fragment.stats()}")
 
-    query = example_query()
-    print("\nQuery (Fig. 2):")
-    print(format_query(query))
+        query = session.queries["example"]
+        print("\nQuery (Fig. 2):")
+        print(format_query(query))
 
-    # --- what each site computes during partial evaluation -----------------
-    query_graph = QueryGraph(query.bgp)
-    print("\nLocal partial matches per fragment (Fig. 3):")
-    for fragment in partitioned:
-        outcome = evaluate_fragment(fragment, query_graph)
-        print(f"  {fragment.name}: {outcome.count} local partial matches")
-        for lpm in outcome.local_partial_matches:
-            print(f"    {lpm.serialization(query_graph)}")
+        # --- what each site computes during partial evaluation -------------
+        query_graph = QueryGraph(query.bgp)
+        print("\nLocal partial matches per fragment (Fig. 3):")
+        for fragment in session.partitioned:
+            outcome = evaluate_fragment(fragment, query_graph)
+            print(f"  {fragment.name}: {outcome.count} local partial matches")
+            for lpm in outcome.local_partial_matches:
+                print(f"    {lpm.serialization(query_graph)}")
 
-    # --- the distributed engine --------------------------------------------
-    cluster = build_cluster(partitioned)
-    engine = GStoreDEngine(cluster, EngineConfig.full())
-    answer = engine.execute(query, query_name="fig2-example", dataset="paper-example")
+        # --- the distributed engine ----------------------------------------
+        print("\nPlan (session.explain):")
+        print(session.explain("example"))
 
-    print(f"\nDistributed answer ({len(answer.results)} solutions):")
-    for row in answer.results.to_table():
-        print(f"  {row}")
+        answer = session.query("example")
+        print(f"\nDistributed answer ({len(answer)} solutions):")
+        for row in answer.to_dicts():
+            print(f"  {row}")
 
-    print("\nPer-stage statistics:")
-    for stage in answer.statistics.stages:
-        print(f"  {stage.as_dict()}")
-    print(f"  total time: {answer.statistics.total_time_ms:.2f} ms")
-    print(f"  total data shipment: {answer.statistics.total_shipment_kb:.2f} KB")
+        print("\nPer-stage statistics:")
+        for stage in answer.statistics.stages:
+            print(f"  {stage.as_dict()}")
+        print(f"  total time: {answer.statistics.total_time_ms:.2f} ms")
+        print(f"  total data shipment: {answer.statistics.total_shipment_kb:.2f} KB")
 
-    # --- sanity check against a centralized run ----------------------------
-    centralized = evaluate_centralized(graph, query)
-    same = answer.results.same_solutions(
-        centralized.project(query.effective_projection, distinct=True)
-    )
-    print(f"\nDistributed answer equals centralized answer: {same}")
+        # --- sanity check against the centralized engine -------------------
+        centralized = session.query("example", engine="centralized")
+        same = answer.sorted_rows() == centralized.sorted_rows()
+        print(f"\nDistributed answer equals centralized answer: {same}")
 
 
 if __name__ == "__main__":

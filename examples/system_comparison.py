@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Compare gStoreD with the simulated DREAM / S2RDF / CliqueSquare / S2X baselines.
+"""Compare every registered evaluator on the same workload (Fig. 12, small).
 
-A small-scale rendition of the paper's Fig. 12: every system answers the
-same benchmark queries over the same partitioned data, and the table reports
-response time, data shipment and result counts.  All systems must agree on
-the answers (the script checks this), so the interesting columns are the
+A small-scale rendition of the paper's Fig. 12 driven entirely by the
+``repro.api`` engine registry: one session prepares the workload, and every
+registry engine — gStoreD, the DREAM / CliqueSquare / S2RDF / S2X
+simulations and the centralized ground truth — answers the same benchmark
+queries over it.  All engines must agree on the answers (the script checks
+this via ``Result.sorted_rows()``), so the interesting columns are the
 costs.
 
 Run it with::
@@ -14,58 +16,37 @@ Run it with::
 
 import sys
 
-from repro.baselines import BASELINE_ENGINES, make_baseline
+import repro
+from repro.api import engine_names
 from repro.bench import format_table
-from repro.core import EngineConfig, GStoreDEngine
-from repro.datasets import get_dataset
-from repro.distributed import build_cluster
-from repro.partition import HashPartitioner
-
-NUM_SITES = 6
 
 
 def main(dataset_name: str = "YAGO2") -> None:
-    spec = get_dataset(dataset_name)
-    graph = spec.generate(spec.default_scale)
-    cluster = build_cluster(HashPartitioner(NUM_SITES).partition(graph))
-    queries = spec.queries()
-    print(f"Dataset {dataset_name}: {graph.stats()}")
+    with repro.open(dataset=dataset_name, sites=6) as session:
+        print(f"Dataset {dataset_name}: {session.graph.stats()}")
 
-    rows = []
-    reference_answers = {}
-    for query_name, query in queries.items():
-        cluster.reset_network()
-        gstored = GStoreDEngine(cluster, EngineConfig.full())
-        result = gstored.execute(query, query_name=query_name, dataset=dataset_name)
-        reference_answers[query_name] = result.results.as_set()
-        rows.append(
-            {
-                "query": query_name,
-                "system": "gStoreD",
-                "time_ms": round(result.statistics.total_time_ms, 2),
-                "shipment_kb": round(result.statistics.total_shipment_kb, 2),
-                "results": len(result.results),
-            }
-        )
-        for baseline_name in BASELINE_ENGINES:
-            cluster.reset_network()
-            baseline = make_baseline(baseline_name, cluster)
-            baseline_result = baseline.execute(query, query_name=query_name, dataset=dataset_name)
-            agrees = baseline_result.results.as_set() == reference_answers[query_name]
-            rows.append(
-                {
-                    "query": query_name,
-                    "system": baseline_name,
-                    "time_ms": round(baseline_result.statistics.total_time_ms, 2),
-                    "shipment_kb": round(baseline_result.statistics.total_shipment_kb, 2),
-                    "results": len(baseline_result.results),
-                    "agrees": agrees,
-                }
-            )
+        rows = []
+        disagreements = 0
+        for query_name in session.queries:
+            # One run per engine; the centralized run doubles as the reference.
+            results = {name: session.query(query_name, engine=name) for name in engine_names()}
+            reference = results["centralized"]
+            for engine_name, result in results.items():
+                agrees = result.sorted_rows() == reference.sorted_rows()
+                disagreements += 0 if agrees else 1
+                rows.append(
+                    {
+                        "query": query_name,
+                        "system": result.statistics.engine,
+                        "time_ms": round(result.statistics.total_time_ms, 2),
+                        "shipment_kb": round(result.statistics.total_shipment_kb, 2),
+                        "results": len(result),
+                        "agrees": agrees,
+                    }
+                )
 
-    print(format_table(rows))
-    disagreements = [row for row in rows if row.get("agrees") is False]
-    print(f"\nSystems disagreeing with gStoreD: {len(disagreements)} (expected 0)")
+        print(format_table(rows))
+        print(f"\nEngines disagreeing with the centralized answer: {disagreements} (expected 0)")
 
 
 if __name__ == "__main__":

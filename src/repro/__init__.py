@@ -9,31 +9,48 @@ The package provides, end to end:
   (:mod:`repro.partition`),
 * a simulated distributed runtime with data-shipment accounting
   (:mod:`repro.distributed`),
-* a pluggable execution runtime (serial / thread pool) for the per-site
-  fan-out (:mod:`repro.exec`),
+* a pluggable execution runtime (serial / thread pool / process pool) for
+  the per-site fan-out (:mod:`repro.exec`),
 * the paper's contribution — LEC-feature-accelerated partial evaluation and
   assembly (:mod:`repro.core`),
 * simulated comparison systems (:mod:`repro.baselines`),
-* scaled-down LUBM/YAGO2/BTC-like workloads (:mod:`repro.datasets`), and
+* scaled-down LUBM/YAGO2/BTC-like workloads (:mod:`repro.datasets`),
 * the experiment harness regenerating every table and figure
-  (:mod:`repro.bench`).
+  (:mod:`repro.bench`), and
+* the unified session/engine/result facade tying them together
+  (:mod:`repro.api`).
 
 Quickstart
 ----------
 
->>> from repro import quickstart_cluster, GStoreDEngine, parse_query
->>> cluster, namespaces = quickstart_cluster()
->>> engine = GStoreDEngine(cluster)
->>> query = parse_query(
-...     'PREFIX ex: <http://example.org/> '
-...     'SELECT ?p2 ?l WHERE { ?t ex:label ?l . ?p1 ex:influencedBy ?p2 . '
-...     '?p2 ex:mainInterest ?t . ?p1 ex:name "Crispin Wright"@en . }'
-... )
->>> answer = engine.execute(query)
->>> len(answer.results) > 0
+``repro.open`` is the front door: it prepares a workload, owns the cluster
+and the executor pools, and hands every evaluator out behind one contract.
+
+>>> import repro
+>>> with repro.open(dataset="paper") as session:
+...     result = session.query(
+...         'PREFIX ex: <http://example.org/> '
+...         'SELECT ?p2 ?l WHERE { ?t ex:label ?l . ?p1 ex:influencedBy ?p2 . '
+...         '?p2 ex:mainInterest ?t . ?p1 ex:name "Crispin Wright"@en . }'
+...     )
+...     len(result) > 0
+...     result.same_solutions(session.query("example", engine="centralized"))
+True
 True
 """
 
+import warnings as _warnings
+
+from .api import (
+    CentralizedEngine,
+    QueryEngine,
+    Result,
+    Session,
+    engine_names,
+    make_engine,
+    open_session,
+)
+from .api import open_session as open  # noqa: A001 - ``repro.open`` is the public name
 from .core import (
     ABLATION_CONFIGS,
     DistributedResult,
@@ -59,15 +76,24 @@ from .rdf import IRI, Literal, Namespace, NamespaceManager, RDFGraph, Triple, Va
 from .sparql import Binding, ResultSet, SelectQuery, parse_query
 from .store import LocalMatcher, TripleStore, evaluate_centralized
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def quickstart_cluster(num_fragments: int = 3, strategy: str = "hash"):
     """Build a tiny ready-to-query cluster over the paper's running example.
 
-    Returns a ``(cluster, namespace_manager)`` pair.  See ``examples/quickstart.py``
-    for a fuller tour.
+    .. deprecated:: 1.1
+        Use ``repro.open(dataset="paper", sites=num_fragments,
+        partitioner=strategy)`` — the session additionally owns the engines,
+        the executor pools and the plan cache.  This shim returns the same
+        ``(cluster, namespace_manager)`` pair as before.
     """
+    _warnings.warn(
+        "quickstart_cluster() is deprecated; use repro.open(dataset='paper', "
+        f"sites={num_fragments}, partitioner={strategy!r}) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from .datasets.paper_example import EXAMPLE_NAMESPACES, build_example_graph
 
     graph = build_example_graph()
@@ -79,6 +105,7 @@ def quickstart_cluster(num_fragments: int = 3, strategy: str = "hash"):
 __all__ = [
     "ABLATION_CONFIGS",
     "Binding",
+    "CentralizedEngine",
     "Cluster",
     "DistributedResult",
     "EngineConfig",
@@ -96,23 +123,30 @@ __all__ = [
     "NamespaceManager",
     "OptimizationLevel",
     "PartitionedGraph",
+    "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
     "QueryStatistics",
     "RDFGraph",
+    "Result",
     "ResultSet",
     "SelectQuery",
     "SemanticHashPartitioner",
     "SerialBackend",
+    "Session",
     "ThreadPoolBackend",
     "Triple",
     "TripleStore",
     "Variable",
     "build_cluster",
     "collect_statistics",
+    "engine_names",
     "evaluate_centralized",
     "make_backend",
+    "make_engine",
     "make_partitioner",
+    "open",
+    "open_session",
     "parse_query",
     "partitioning_cost",
     "quickstart_cluster",

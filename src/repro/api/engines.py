@@ -1,0 +1,322 @@
+"""One engine protocol and one registry for every evaluator in the repository.
+
+The paper's evaluation pits gStoreD against DREAM, two relational cloud
+systems, a graph-parallel cloud system and a centralized ground truth.  The
+codebase historically exposed each through a different surface —
+``GStoreDEngine(cluster, config, backend=...)``, hand-constructed
+:class:`~repro.baselines.DistributedEngine` subclasses, and the bare
+function :func:`~repro.store.evaluate_centralized`.  This module levels
+them:
+
+* :class:`QueryEngine` is the one contract every evaluator satisfies:
+  ``execute(query, query_name=..., dataset=...)`` returning a
+  :class:`~repro.api.Result`, plus ``close()`` and context-manager support;
+* :func:`make_engine` instantiates any evaluator by registry name over a
+  :class:`~repro.distributed.Cluster`;
+* :class:`CentralizedEngine` adapts the centralized matcher into the same
+  contract (with a single timed ``centralized_evaluation`` stage), so the
+  ground truth is just another registry entry.
+
+Registry names (see :func:`engine_names`):
+
+========================  =====================================================
+``gstored``               the paper's engine (LEC-accelerated partial
+                          evaluation; honors ``EngineConfig`` and an injected
+                          :class:`~repro.exec.ExecutorBackend`)
+``dream``                 DREAM-like full replication + star decomposition
+``decomp``                CliqueSquare-like clique/star decomposition over
+                          MapReduce-style flat joins (alias ``cliquesquare``)
+``cloud``                 S2RDF-like Spark-SQL vertical partitioning scans
+                          (alias ``s2rdf``)
+``s2x``                   S2X-like vertex-centric graph-parallel matching
+``centralized``           single-store ground truth (alias ``central``)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from ..baselines.cloud import CliqueSquareEngine, S2RDFEngine, S2XEngine
+from ..baselines.dream import DreamEngine
+from ..core.config import EngineConfig
+from ..core.engine import GStoreDEngine
+from ..distributed.cluster import Cluster
+from ..distributed.stats import QueryStatistics
+from ..exec import ExecutorBackend
+from ..sparql.algebra import SelectQuery
+from ..store.matcher import LocalMatcher
+from .result import Result
+
+#: Stage name under which :class:`CentralizedEngine` records its evaluation.
+STAGE_CENTRALIZED = "centralized_evaluation"
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """The single execution contract all five evaluators satisfy."""
+
+    #: Name used in statistics and reports (``gStoreD``, ``DREAM``, ...).
+    name: str
+
+    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> Result:
+        """Evaluate ``query`` and return its solutions plus statistics."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources held by the engine."""
+        ...
+
+
+class EngineAdapter:
+    """Wrap a legacy engine (``DistributedResult``-returning) into the contract.
+
+    The adapter owns its inner engine: closing the adapter closes the inner
+    engine (and with it any executor backend the inner engine owns).
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.name = inner.name
+
+    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> Result:
+        """Run the wrapped engine and lift its result into a :class:`Result`."""
+        return Result.from_distributed(
+            self.inner.execute(query, query_name=query_name, dataset=dataset)
+        )
+
+    def close(self) -> None:
+        """Close the wrapped engine (a no-op for engines without resources)."""
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "EngineAdapter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<EngineAdapter {self.name!r} around {type(self.inner).__name__}>"
+
+
+class CentralizedEngine:
+    """The centralized ground truth behind the standard engine contract.
+
+    Wraps :class:`~repro.store.LocalMatcher` over the cluster's *full* graph
+    (what :func:`~repro.store.evaluate_centralized` does per call), but keeps
+    the matcher — and therefore its signature index and plan cache — warm
+    across queries, the way a long-lived single-store deployment would.
+    Nothing is shipped, so the statistics carry a single
+    ``centralized_evaluation`` stage with pure coordinator time.
+    """
+
+    name = "Centralized"
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._matcher: Optional[LocalMatcher] = None
+
+    def _ensure_matcher(self) -> LocalMatcher:
+        if self._matcher is None:
+            self._matcher = LocalMatcher(self.cluster.graph)
+        return self._matcher
+
+    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> Result:
+        """Evaluate ``query`` over the full graph on one simulated machine."""
+        stats = QueryStatistics(
+            query_name=query_name,
+            engine=self.name,
+            dataset=dataset,
+            partitioning=self.cluster.partitioned_graph.strategy,
+        )
+        stage = stats.stage(STAGE_CENTRALIZED)
+        matcher = self._ensure_matcher()
+        started = time.perf_counter()
+        results = matcher.evaluate(query)
+        # The distributed engines all project with distinct=True (duplicate
+        # solutions collapse when projection drops variables); normalize the
+        # centralized answer to the same convention so every evaluator is
+        # row-for-row comparable.
+        results = results.project(query.effective_projection, distinct=True)
+        stage.coordinator_time_s += time.perf_counter() - started
+        stats.num_results = len(results)
+        return Result(results, stats)
+
+    def close(self) -> None:
+        """Drop the cached matcher (indexes are rebuilt on next use)."""
+        self._matcher = None
+
+    def __enter__(self) -> "CentralizedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registry entry: how to build an evaluator and what it accepts."""
+
+    #: Canonical registry key (lower-case).
+    name: str
+    #: One-line description shown in docs and CLI help.
+    summary: str
+    #: ``factory(cluster, config, backend) -> QueryEngine``.
+    factory: Callable[[Cluster, Optional[EngineConfig], Optional[ExecutorBackend]], QueryEngine]
+    #: Alternative lookup names (legacy report names, spellings).
+    aliases: Tuple[str, ...] = ()
+    #: Whether the engine honors an :class:`EngineConfig` (and an injected
+    #: executor backend).  Engines that don't raise on an explicit config.
+    accepts_config: bool = False
+
+
+def _gstored_factory(cluster, config, backend):
+    return EngineAdapter(GStoreDEngine(cluster, config, backend=backend))
+
+
+def _baseline_factory(engine_class):
+    def factory(cluster, config, backend):
+        del config, backend  # baselines model fixed strategies; nothing to configure
+        return EngineAdapter(engine_class(cluster))
+
+    return factory
+
+
+def _centralized_factory(cluster, config, backend):
+    del config, backend  # a single store has no fan-out to schedule
+    return CentralizedEngine(cluster)
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_engine(spec: EngineSpec) -> None:
+    """Add an evaluator to the registry (idempotent per canonical name)."""
+    key = spec.name.lower()
+    _REGISTRY[key] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = key
+
+
+register_engine(
+    EngineSpec(
+        name="gstored",
+        summary="LEC-accelerated partial evaluation and assembly (the paper's engine)",
+        factory=_gstored_factory,
+        aliases=("gstore-d",),
+        accepts_config=True,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="dream",
+        summary="DREAM-like full replication + star decomposition",
+        factory=_baseline_factory(DreamEngine),
+        aliases=(DreamEngine.name,),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="decomp",
+        summary="CliqueSquare-like clique decomposition with flat MapReduce joins",
+        factory=_baseline_factory(CliqueSquareEngine),
+        aliases=(CliqueSquareEngine.name,),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="cloud",
+        summary="S2RDF-like Spark-SQL vertical-partitioning scans and hash joins",
+        factory=_baseline_factory(S2RDFEngine),
+        aliases=(S2RDFEngine.name,),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="s2x",
+        summary="S2X-like vertex-centric graph-parallel matching",
+        factory=_baseline_factory(S2XEngine),
+        aliases=(S2XEngine.name,),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="centralized",
+        summary="single-store centralized evaluation (the ground truth)",
+        factory=_centralized_factory,
+        aliases=("central",),
+    )
+)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """The canonical registry names, sorted (the valid ``make_engine`` inputs)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def engine_specs() -> Tuple[EngineSpec, ...]:
+    """Every registered :class:`EngineSpec`, sorted by canonical name."""
+    return tuple(_REGISTRY[name] for name in engine_names())
+
+
+def engine_aliases() -> Dict[str, str]:
+    """The alias table: lower-cased alias -> canonical registry name.
+
+    The CLI derives its accepted ``--engine`` values from this, so a newly
+    registered engine (or alias) is reachable everywhere without touching
+    the CLI.
+    """
+    return dict(_ALIASES)
+
+
+def engine_spec(name: str) -> EngineSpec:
+    """The :class:`EngineSpec` behind a registry name or alias."""
+    return _REGISTRY[resolve_engine_name(name)]
+
+
+def resolve_engine_name(name: str) -> str:
+    """Map a registry name or alias (case-insensitive) to its canonical name.
+
+    Raises ``ValueError`` naming every valid choice when ``name`` is unknown.
+    """
+    key = name.strip().lower()
+    if key in _REGISTRY:
+        return key
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise ValueError(
+        f"unknown engine {name!r}; choose from: {', '.join(engine_names())}"
+    )
+
+
+def make_engine(
+    name: str,
+    cluster: Cluster,
+    *,
+    config: Optional[EngineConfig] = None,
+    backend: Optional[ExecutorBackend] = None,
+) -> QueryEngine:
+    """Instantiate any registered evaluator by name over ``cluster``.
+
+    ``config`` and ``backend`` apply to engines that declare
+    ``accepts_config`` (today the gStoreD family); passing an explicit
+    ``config`` to a fixed-strategy engine is an error, while a ``backend`` is
+    silently ignored there — sessions share one pool across whatever engines
+    they create.  An injected ``backend`` stays owned by the caller.
+    """
+    spec = engine_spec(name)
+    if config is not None and not spec.accepts_config:
+        raise ValueError(
+            f"engine {spec.name!r} models a fixed strategy and does not take an "
+            f"EngineConfig; engines that do: "
+            f"{', '.join(s.name for s in engine_specs() if s.accepts_config)}"
+        )
+    return spec.factory(cluster, config, backend)

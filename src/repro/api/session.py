@@ -1,0 +1,357 @@
+"""The :class:`Session` facade — the package's front door.
+
+A session owns everything one line of research code used to wire by hand:
+workload preparation (dataset generation, partitioning, cluster
+construction), the executor backend (including warm thread/process pools),
+the engine instances, and the plan cache living on the cluster.  The
+canonical entry point is :func:`open_session`, re-exported as
+``repro.open``::
+
+    import repro
+
+    with repro.open(dataset="lubm", scale=1, sites=4, partitioner="metis",
+                    executor="threads", engine="gstored") as session:
+        result = session.query("LQ1")          # a named benchmark query...
+        result = session.query("SELECT ?s WHERE { ?s ?p ?o }")  # ...or raw SPARQL
+        print(result.sorted_rows(), result.statistics.total_time_ms)
+        print(session.explain("LQ1"))          # the cost-based plan
+
+Every evaluator of the paper's comparison is reachable from the same
+session (``session.query(..., engine="dream")``); engines are created
+lazily, cached, and share the session's executor backend.  Closing the
+session (or leaving the ``with`` block) closes every engine it created and
+shuts the backend's worker pools down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.config import EngineConfig
+from ..datasets.registry import DATASETS, get_dataset
+from ..distributed.cluster import Cluster, build_cluster
+from ..distributed.network import NetworkModel
+from ..exec import ExecutorBackend, make_backend
+from ..partition.fragment import PartitionedGraph
+from ..partition.partitioners import make_partitioner
+from ..planner.optimizer import QueryPlanner
+from ..rdf.graph import RDFGraph
+from ..sparql.algebra import SelectQuery
+from ..sparql.parser import parse_query
+from ..sparql.query_graph import QueryGraph
+from .engines import QueryEngine, engine_spec, make_engine, resolve_engine_name
+from .result import Result
+
+#: Names accepted for the paper's running example (Figs. 1-3).
+PAPER_EXAMPLE_NAMES = ("paper", "example", "paper_example")
+
+#: ``partitioner=`` values reproducing the exact Fig. 1 fragment assignment.
+FIGURE1_PARTITIONERS = ("paper", "figure1")
+
+
+def _dataset_choices() -> Tuple[str, ...]:
+    return tuple(sorted(DATASETS)) + ("paper",)
+
+
+def _partitioner_choices() -> Tuple[str, ...]:
+    from ..partition.partitioners import PARTITIONER_REGISTRY
+
+    return tuple(sorted(PARTITIONER_REGISTRY)) + ("paper (dataset='paper' only)",)
+
+
+def _partition(strategy: str, num_sites: int, graph: RDFGraph):
+    """Partition ``graph``, turning an unknown strategy into a ValueError
+    that enumerates the valid choices (like every other bad argument)."""
+    try:
+        return make_partitioner(strategy, num_sites).partition(graph)
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {strategy!r}; choose from: "
+            f"{', '.join(_partitioner_choices())}"
+        ) from None
+
+
+class Session:
+    """One prepared workload plus the engines and executor pool to query it.
+
+    Construct through :func:`open_session` (datasets by name), or through
+    :meth:`from_partitioned` / :meth:`from_cluster` for ad-hoc graphs the
+    caller partitioned itself (federation scenarios).  Sessions are context
+    managers; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        dataset: str = "",
+        scale: Optional[int] = None,
+        queries: Optional[Dict[str, SelectQuery]] = None,
+        engine: str = "gstored",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
+        **config_options,
+    ) -> None:
+        self.cluster = cluster
+        self.dataset = dataset
+        self.scale = scale
+        #: Named benchmark queries of the workload; ``query()`` accepts these
+        #: names directly.
+        self.queries: Dict[str, SelectQuery] = dict(queries or {})
+        config = config if config is not None else EngineConfig.full()
+        if config_options:
+            config = config.with_options(**config_options)
+        if executor is not None:
+            config = config.with_executor(executor, workers)
+        elif workers is not None:
+            config = config.with_workers(workers)
+        self.config = config
+        #: The session-owned executor backend: every gStoreD-family engine
+        #: the session creates shares this pool (warm across queries), and
+        #: :meth:`close` shuts it down exactly once.
+        self.backend: ExecutorBackend = make_backend(config.executor, config.max_workers)
+        # resolve_engine_name validates eagerly, so an unknown default engine
+        # fails at open() time; construction itself stays lazy.
+        self.default_engine = resolve_engine_name(engine)
+        self._engines: Dict[str, QueryEngine] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partitioned(
+        cls,
+        partitioned: PartitionedGraph,
+        *,
+        network: Optional[NetworkModel] = None,
+        **options,
+    ) -> "Session":
+        """Open a session over a graph the caller already partitioned."""
+        return cls(build_cluster(partitioned, network=network), **options)
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster, **options) -> "Session":
+        """Open a session over an existing cluster (shared with the caller).
+
+        The session still owns its backend and engines — but never the
+        cluster, which the caller keeps and may pass to several sessions.
+        """
+        return cls(cluster, **options)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> RDFGraph:
+        """The full (unpartitioned) RDF graph behind the cluster."""
+        return self.cluster.graph
+
+    @property
+    def partitioned(self) -> PartitionedGraph:
+        """The partitioned graph the cluster was built from."""
+        return self.cluster.partitioned_graph
+
+    @property
+    def num_sites(self) -> int:
+        """Number of simulated sites."""
+        return self.cluster.num_sites
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The coordinator's cost-based planner (plan cache included).
+
+        The planner is owned by the cluster so its cache survives engine
+        churn; the session exposes it for cache introspection
+        (``session.planner.cache.hit_rate``) and explicit warm-up.
+        """
+        return self.cluster.coordinator_planner(
+            self.config.plan_cache_size, backend=self.backend
+        )
+
+    # ------------------------------------------------------------------
+    # Engines
+    # ------------------------------------------------------------------
+    def engine(self, name: Optional[str] = None) -> QueryEngine:
+        """The (cached) evaluator for ``name`` — default: the session's engine.
+
+        gStoreD-family engines receive the session's :class:`EngineConfig`
+        and share the session's executor backend; fixed-strategy engines
+        (baselines, centralized) take neither.
+        """
+        self._ensure_open()
+        canonical = resolve_engine_name(name) if name is not None else self.default_engine
+        if canonical not in self._engines:
+            if engine_spec(canonical).accepts_config:
+                built = make_engine(canonical, self.cluster, config=self.config, backend=self.backend)
+            else:
+                built = make_engine(canonical, self.cluster)
+            self._engines[canonical] = built
+        return self._engines[canonical]
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _resolve_query(self, query: Union[str, SelectQuery]) -> Tuple[SelectQuery, str]:
+        """Accept a parsed query, a named benchmark query, or SPARQL text."""
+        if isinstance(query, SelectQuery):
+            return query, ""
+        if query in self.queries:
+            return self.queries[query], query
+        return parse_query(query), ""
+
+    def query(
+        self,
+        query: Union[str, SelectQuery],
+        *,
+        engine: Optional[str] = None,
+        query_name: str = "",
+    ) -> Result:
+        """Parse, plan and execute ``query``; returns a :class:`Result`.
+
+        ``query`` may be a parsed :class:`SelectQuery`, the name of one of
+        the workload's benchmark queries (``session.queries``), or raw SPARQL
+        text.  The cluster's network accounting is reset first, so each
+        result's statistics describe exactly one execution.
+        """
+        self._ensure_open()
+        parsed, resolved_name = self._resolve_query(query)
+        chosen = self.engine(engine)
+        self.cluster.reset_network()
+        return chosen.execute(
+            parsed, query_name=query_name or resolved_name, dataset=self.dataset
+        )
+
+    def explain(self, query: Union[str, SelectQuery]) -> str:
+        """The cost-based plan for ``query`` (per connected component), as text."""
+        self._ensure_open()
+        parsed, _ = self._resolve_query(query)
+        planner = self.planner
+        lines = []
+        components = parsed.bgp.connected_components()
+        for position, component in enumerate(components):
+            query_graph = QueryGraph(component)
+            if len(components) > 1:
+                lines.append(f"-- component {position + 1}/{len(components)} --")
+            lines.append(f"query shape: {query_graph.classify_shape()}")
+            lines.append(planner.explain(query_graph))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this Session is closed; open a new one with repro.open(...)")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed session rejects queries)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close every engine the session created and shut its pools down."""
+        if self._closed:
+            return
+        self._closed = True
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+        self.backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "closed" if self._closed else "open"
+        return (
+            f"<Session {state} dataset={self.dataset!r} sites={self.num_sites} "
+            f"engine={self.default_engine!r} executor={self.backend.name!r}>"
+        )
+
+
+def open_session(
+    dataset: str = "paper",
+    *,
+    scale: Optional[int] = None,
+    sites: Optional[int] = None,
+    partitioner: str = "hash",
+    engine: str = "gstored",
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    config: Optional[EngineConfig] = None,
+    network: Optional[NetworkModel] = None,
+    **config_options,
+) -> Session:
+    """Open a :class:`Session` over one of the bundled workloads.
+
+    ``dataset`` is ``"lubm"``, ``"yago2"``, ``"btc"`` (case-insensitive) or
+    ``"paper"`` for the running example of Figs. 1-3 (whose
+    ``partitioner="paper"`` reproduces the exact Fig. 1 fragment
+    assignment).  ``engine`` is any :func:`~repro.api.make_engine` registry
+    name; ``executor``/``workers`` select the per-site fan-out backend; any
+    extra keyword becomes an :class:`EngineConfig` option
+    (``use_lec_pruning=False``, ...).  This function is re-exported as
+    ``repro.open``.
+    """
+    name = dataset.strip()
+    strategy = partitioner.strip().lower()
+    session_options = dict(
+        engine=engine,
+        executor=executor,
+        workers=workers,
+        config=config,
+        **config_options,
+    )
+    if name.lower() in PAPER_EXAMPLE_NAMES:
+        from ..datasets.paper_example import (
+            build_example_graph,
+            build_example_partitioning,
+            example_query,
+        )
+
+        num_sites = sites if sites is not None else 3
+        if strategy in FIGURE1_PARTITIONERS:
+            if num_sites != 3:
+                raise ValueError(
+                    f"the Fig. 1 partitioning has exactly 3 fragments; got sites={num_sites}"
+                )
+            partitioned = build_example_partitioning()
+        else:
+            partitioned = _partition(strategy, num_sites, build_example_graph())
+        return Session.from_partitioned(
+            partitioned,
+            network=network,
+            dataset="paper-example",
+            queries={"example": example_query()},
+            **session_options,
+        )
+
+    if strategy in FIGURE1_PARTITIONERS:
+        raise ValueError(
+            f"partitioner {partitioner!r} reproduces the Fig. 1 example "
+            f"partitioning and only applies to dataset='paper'; choose from: "
+            f"{', '.join(_partitioner_choices())}"
+        )
+    try:
+        spec = get_dataset(name.upper())
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from: {', '.join(_dataset_choices())}"
+        ) from None
+    chosen_scale = scale if scale is not None else spec.default_scale
+    graph = spec.generate(chosen_scale)
+    num_sites = sites if sites is not None else 6
+    partitioned = _partition(strategy, num_sites, graph)
+    return Session.from_partitioned(
+        partitioned,
+        network=network,
+        dataset=spec.name,
+        scale=chosen_scale,
+        queries=spec.queries(),
+        **session_options,
+    )

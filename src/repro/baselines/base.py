@@ -45,6 +45,16 @@ class DistributedEngine(ABC):
     def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> DistributedResult:
         """Evaluate ``query`` and return its solutions plus statistics."""
 
+    def close(self) -> None:
+        """Release engine resources (baselines hold none; kept for the
+        uniform :class:`~repro.api.QueryEngine` lifecycle)."""
+
+    def __enter__(self) -> "DistributedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _new_statistics(self, query_name: str, dataset: str) -> QueryStatistics:
         return QueryStatistics(
             query_name=query_name,

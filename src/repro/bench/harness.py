@@ -3,7 +3,9 @@
 Each public function corresponds to one experiment of the paper's evaluation
 and returns structured rows/series; the ``benchmarks/`` modules call these
 functions inside pytest-benchmark fixtures and print the rendered tables, and
-EXPERIMENTS.md records the paper-vs-measured comparison.
+EXPERIMENTS.md records the paper-vs-measured comparison.  Engines are built
+through the :mod:`repro.api` registry (:func:`repro.api.make_engine`), so
+every series/table accepts any registered evaluator name.
 
 The harness deliberately builds *small* dataset instances (the simulation is
 pure Python) — the goal is to reproduce the qualitative shape of every
@@ -13,14 +15,15 @@ result, as discussed in DESIGN.md.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..api.engines import engine_spec, make_engine
+from ..api.result import Result
 from ..baselines import BASELINE_ENGINES
 from ..core.config import ABLATION_CONFIGS, EngineConfig
 from ..core.engine import (
-    DistributedResult,
-    GStoreDEngine,
     STAGE_ASSEMBLY,
     STAGE_CANDIDATES,
     STAGE_PARTIAL_EVAL,
@@ -32,11 +35,7 @@ from ..store.matcher import LocalMatcher
 from ..distributed.cluster import Cluster, build_cluster
 from ..partition.cost_model import partitioning_cost
 from ..partition.fragment import PartitionedGraph
-from ..partition.partitioners import (
-    HashPartitioner,
-    MetisLikePartitioner,
-    SemanticHashPartitioner,
-)
+from ..partition.partitioners import make_partitioner as _make_partitioner
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import SelectQuery
 from ..datasets.registry import DATASETS, LUBM_SCALES, get_dataset
@@ -64,14 +63,19 @@ class PreparedWorkload:
 
 
 def make_partitioner(strategy: str, num_sites: int):
-    """The partitioner instances used consistently across experiments."""
-    if strategy == "hash":
-        return HashPartitioner(num_sites)
-    if strategy == "semantic_hash":
-        return SemanticHashPartitioner(num_sites)
-    if strategy == "metis":
-        return MetisLikePartitioner(num_sites)
-    raise KeyError(f"unknown partitioning strategy {strategy!r}")
+    """Legacy alias of :func:`repro.partition.make_partitioner`.
+
+    .. deprecated:: 1.1
+        Import ``make_partitioner`` from :mod:`repro.partition` (or use
+        ``repro.open(partitioner=...)``, which partitions for you).
+    """
+    warnings.warn(
+        "repro.bench.make_partitioner is deprecated; use "
+        "repro.partition.make_partitioner (or repro.open(partitioner=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _make_partitioner(strategy, num_sites)
 
 
 def prepare_workload(
@@ -84,7 +88,7 @@ def prepare_workload(
     spec = get_dataset(dataset)
     scale = scale if scale is not None else spec.default_scale
     graph = spec.generate(scale)
-    partitioned = make_partitioner(strategy, num_sites).partition(graph)
+    partitioned = _make_partitioner(strategy, num_sites).partition(graph)
     return PreparedWorkload(
         dataset=dataset,
         scale=scale,
@@ -99,22 +103,31 @@ def run_query(
     workload: PreparedWorkload,
     query_name: str,
     config: Optional[EngineConfig] = None,
-) -> DistributedResult:
-    """Run one benchmark query on a prepared workload with a fresh network."""
+    engine: str = "gstored",
+) -> Result:
+    """Run one benchmark query on a prepared workload with a fresh network.
+
+    ``engine`` is any :func:`repro.api.make_engine` registry name; the
+    gStoreD family takes ``config``, the fixed-strategy engines ignore it by
+    requiring it to stay ``None``.  Returns the unified
+    :class:`~repro.api.Result` (``.results`` / ``.statistics`` keep working
+    as they did for ``DistributedResult``).
+    """
     workload.cluster.reset_network()
-    engine = GStoreDEngine(workload.cluster, config or EngineConfig.full())
-    try:
-        return engine.execute(
+    if engine_spec(engine).accepts_config:
+        built = make_engine(engine, workload.cluster, config=config or EngineConfig.full())
+    else:
+        built = make_engine(engine, workload.cluster, config=config)
+    with built:
+        return built.execute(
             workload.queries[query_name], query_name=query_name, dataset=workload.dataset
         )
-    finally:
-        engine.close()
 
 
 # ----------------------------------------------------------------------
 # Tables I-III: per-stage evaluation
 # ----------------------------------------------------------------------
-def stage_breakdown_row(result: DistributedResult) -> Dict[str, object]:
+def stage_breakdown_row(result: Result) -> Dict[str, object]:
     """One row of Tables I-III for a single query execution."""
     stats = result.statistics
     return {
@@ -218,7 +231,7 @@ def planner_comparison_series(
     return series
 
 
-def stage_shipment_snapshot(result: DistributedResult) -> List[Tuple[str, int, int]]:
+def stage_shipment_snapshot(result: Result) -> List[Tuple[str, int, int]]:
     """Per-stage ``(name, shipped_bytes, messages)`` — the determinism fingerprint."""
     return [
         (stage.name, stage.shipped_bytes, stage.messages) for stage in result.statistics.stages
@@ -260,15 +273,14 @@ def parallel_comparison_rows(
 
     def timed_run(
         name: str, config: EngineConfig, backend: Optional[ExecutorBackend] = None
-    ) -> Tuple[DistributedResult, float]:
+    ) -> Tuple[Result, float]:
         workload.cluster.reset_network()
-        engine = GStoreDEngine(workload.cluster, config, backend=backend)
-        try:
+        # Built through the registry: shared backends survive close(), owned
+        # ones shut down with the engine.
+        with make_engine("gstored", workload.cluster, config=config, backend=backend) as engine:
             started = time.perf_counter()
             result = engine.execute(workload.queries[name], query_name=name, dataset=dataset)
             wall_ms = (time.perf_counter() - started) * 1000.0
-        finally:
-            engine.close()  # shared backends survive; owned ones shut down
         return result, wall_ms
 
     # Explicitly serial so the baseline stays the reference even under a
@@ -365,7 +377,7 @@ def partitioning_cost_table(
         graph = spec.generate(scale if scale is not None else spec.default_scale)
         row: Dict[str, object] = {"dataset": dataset}
         for strategy in PARTITIONING_STRATEGIES:
-            partitioned = make_partitioner(strategy, num_sites).partition(graph)
+            partitioned = _make_partitioner(strategy, num_sites).partition(graph)
             row[strategy] = round(partitioning_cost(partitioned).cost, 2)
         rows.append(row)
     return rows
@@ -446,7 +458,10 @@ def comparison_series(
     Baselines run over the hash partitioning (their native layouts replicate
     or re-shard data anyway); gStoreD runs once per partitioning strategy,
     mirroring the ``gStoreD-Hash`` / ``gStoreD-SemanticHash`` / ``gStoreD-METIS``
-    bars of the figure.
+    bars of the figure.  ``baselines`` entries are
+    :func:`repro.api.make_engine` names or aliases (the legacy report names
+    ``DREAM`` / ``S2RDF`` / ``CliqueSquare`` / ``S2X`` still work, and
+    ``"centralized"`` adds the single-store ground truth as a series).
     """
     spec = get_dataset(dataset)
     chosen_queries = list(query_names) if query_names is not None else list(spec.queries())
@@ -455,12 +470,14 @@ def comparison_series(
 
     hash_workload = prepare_workload(dataset, scale, "hash", num_sites)
     for baseline_name in baseline_names:
-        engine = BASELINE_ENGINES[baseline_name](hash_workload.cluster)
-        series[baseline_name] = {}
-        for name in chosen_queries:
-            hash_workload.cluster.reset_network()
-            result = engine.execute(hash_workload.queries[name], query_name=name, dataset=dataset)
-            series[baseline_name][name] = round(result.statistics.total_time_ms, 3)
+        with make_engine(baseline_name, hash_workload.cluster) as engine:
+            series[baseline_name] = {}
+            for name in chosen_queries:
+                hash_workload.cluster.reset_network()
+                result = engine.execute(
+                    hash_workload.queries[name], query_name=name, dataset=dataset
+                )
+                series[baseline_name][name] = round(result.statistics.total_time_ms, 3)
 
     for strategy in gstored_strategies:
         label = f"gStoreD-{strategy}"

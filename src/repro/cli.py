@@ -7,8 +7,9 @@ The CLI covers the workflow a downstream user actually runs:
 * ``repro partition`` — partition a dataset with one of the strategies,
   report the Section VII cost, and optionally save the workspace;
 * ``repro query``     — execute a SPARQL BGP query (inline or from a file)
-  over a partitioned workspace or an ad-hoc partitioning, with any engine
-  configuration or baseline system;
+  over a partitioned workspace or an ad-hoc partitioning, with any
+  gStoreD configuration or any :mod:`repro.api` registry engine
+  (``--engine gstored|dream|decomp|cloud|s2x|centralized``);
 * ``repro explain``   — show the cost-based plan (statistics summary, chosen
   vertex order, per-step estimates) for a query without executing it;
 * ``repro experiment`` — regenerate one of the paper's tables/figures.
@@ -25,7 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .baselines import BASELINE_ENGINES, make_baseline
+from .api import engine_aliases, engine_names, make_engine
 from .bench import (
     ablation_series,
     comparison_series,
@@ -35,7 +36,7 @@ from .bench import (
     per_stage_table,
     scalability_series,
 )
-from .core import EngineConfig, GStoreDEngine, OptimizationLevel
+from .core import EngineConfig, OptimizationLevel
 from .datasets import get_dataset
 from .distributed import build_cluster
 from .exec import EXECUTOR_CHOICES, make_backend
@@ -51,15 +52,29 @@ from .rdf import dump as dump_ntriples
 from .rdf import load as load_ntriples
 from .sparql import QueryGraph, parse_query, traversal_order
 
-#: Engine aliases accepted by ``repro query --engine``.
-ENGINE_CHOICES = ("gstored", "basic", "la", "lo") + tuple(name.lower() for name in BASELINE_ENGINES)
-
 _LEVELS = {
     "gstored": OptimizationLevel.FULL,
     "basic": OptimizationLevel.BASIC,
     "la": OptimizationLevel.LA,
     "lo": OptimizationLevel.LO,
 }
+
+def engine_choices() -> tuple:
+    """Engine names accepted by ``repro query --engine``.
+
+    The gStoreD optimization levels, every :mod:`repro.api` registry engine,
+    and every registry alias (the legacy report names of the simulated
+    systems among them).  Computed from the live registry on every call, so
+    engines registered through :func:`repro.api.register_engine` are
+    immediately reachable from the CLI too.
+    """
+    return tuple(
+        dict.fromkeys(
+            list(_LEVELS)
+            + [name for name in engine_names() if name != "gstored"]
+            + sorted(engine_aliases())
+        )
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--data", help="N-Triples file to partition on the fly")
     query.add_argument("--strategy", choices=("hash", "semantic_hash", "metis"), default="hash")
     query.add_argument("--sites", type=int, default=6)
-    query.add_argument("--engine", choices=ENGINE_CHOICES, default="gstored")
+    query.add_argument(
+        "--engine",
+        default="gstored",
+        help=f"evaluator to run the query with; one of: {', '.join(engine_choices())}",
+    )
     query_text = query.add_mutually_exclusive_group(required=True)
     query_text.add_argument("--query", help="SPARQL query text")
     query_text.add_argument("--query-file", help="file containing the SPARQL query")
@@ -103,10 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--executor",
-        choices=EXECUTOR_CHOICES,
         default=None,
-        help="execution backend for the per-site fan-out (threads is implied by "
-        "--workers alone; processes sidesteps the GIL for real multi-core speedup)",
+        help="execution backend for the per-site fan-out, one of: "
+        f"{', '.join(EXECUTOR_CHOICES)} (threads is implied by --workers alone; "
+        "processes sidesteps the GIL for real multi-core speedup)",
     )
 
     explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
@@ -126,9 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "--executor",
-        choices=EXECUTOR_CHOICES,
         default=None,
-        help="execution backend for the statistics fan-out (threads is implied by --workers alone)",
+        help="execution backend for the statistics fan-out, one of: "
+        f"{', '.join(EXECUTOR_CHOICES)} (threads is implied by --workers alone)",
     )
 
     experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
@@ -199,8 +218,16 @@ def _requested_executor(args: argparse.Namespace, workers: Optional[int]) -> Opt
     the CPU count).
     """
     executor = getattr(args, "executor", None)
+    if executor is not None and executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_CHOICES)}"
+        )
     if executor == "serial" and workers is not None:
-        raise ValueError("--workers is meaningless with --executor serial; drop one of them")
+        parallel = [name for name in EXECUTOR_CHOICES if name != "serial"]
+        raise ValueError(
+            "--workers is meaningless with --executor serial; drop --workers or "
+            f"pick --executor from: {', '.join(parallel)}"
+        )
     if executor is not None:
         return executor
     return "threads" if workers is not None else None
@@ -209,27 +236,34 @@ def _requested_executor(args: argparse.Namespace, workers: Optional[int]) -> Opt
 def _cmd_query(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
     executor = _requested_executor(args, workers)
+    engine_name = args.engine.lower()
+    if engine_name not in engine_choices():
+        raise ValueError(
+            f"unknown engine {args.engine!r}; choose from: {', '.join(engine_choices())}"
+        )
     cluster = _load_cluster(args)
     query = parse_query(_read_query_text(args))
 
-    engine_name = args.engine.lower()
-    if engine_name in _LEVELS:
-        config = EngineConfig.for_level(_LEVELS[engine_name])
+    if engine_name in _LEVELS or engine_aliases().get(engine_name) == "gstored":
+        config = EngineConfig.for_level(_LEVELS.get(engine_name, OptimizationLevel.FULL))
         if executor is not None:
             config = config.with_executor(executor, workers)
-        engine = GStoreDEngine(cluster, config)
+        engine = make_engine("gstored", cluster, config=config)
     else:
+        gstored_family = ", ".join(_LEVELS)
         if workers is not None:
-            raise ValueError("--workers only applies to the gStoreD engine family")
+            raise ValueError(
+                f"--workers only applies to the gStoreD engine family ({gstored_family}); "
+                f"engine {engine_name!r} runs its fixed strategy without a fan-out pool"
+            )
         if executor is not None:
-            raise ValueError("--executor only applies to the gStoreD engine family")
-        proper_name = next(name for name in BASELINE_ENGINES if name.lower() == engine_name)
-        engine = make_baseline(proper_name, cluster)
-    try:
+            raise ValueError(
+                f"--executor only applies to the gStoreD engine family ({gstored_family}); "
+                f"engine {engine_name!r} runs its fixed strategy without a fan-out pool"
+            )
+        engine = make_engine(engine_name, cluster)
+    with engine:
         result = engine.execute(query, query_name="cli")
-    finally:
-        if hasattr(engine, "close"):
-            engine.close()
 
     executor = result.statistics.extra.get("executor")
     runtime = ""

@@ -161,6 +161,12 @@ class GStoreDEngine:
         if self._owns_backend:
             self.backend.close()
 
+    def __enter__(self) -> "GStoreDEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------

@@ -142,6 +142,6 @@ class Cluster:
         return f"<Cluster sites={self.num_sites} strategy={self._partitioned.strategy!r}>"
 
 
-def build_cluster(partitioned: PartitionedGraph) -> Cluster:
+def build_cluster(partitioned: PartitionedGraph, network: Optional[NetworkModel] = None) -> Cluster:
     """Convenience constructor mirroring ``build_partitioned_graph``."""
-    return Cluster(partitioned)
+    return Cluster(partitioned, network=network)

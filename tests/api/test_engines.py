@@ -1,0 +1,164 @@
+"""Tests for the :mod:`repro.api` engine protocol, registry and adapters."""
+
+import pytest
+
+import repro
+from repro import EngineConfig, GStoreDEngine
+from repro.api import (
+    STAGE_CENTRALIZED,
+    CentralizedEngine,
+    EngineAdapter,
+    QueryEngine,
+    Result,
+    engine_names,
+    engine_specs,
+    make_engine,
+    resolve_engine_name,
+)
+from repro.baselines import CliqueSquareEngine, DreamEngine, S2RDFEngine, S2XEngine
+from repro.datasets.paper_example import (
+    build_example_partitioning,
+    example_query,
+)
+from repro.distributed import build_cluster
+
+ALL_ENGINES = ("centralized", "cloud", "decomp", "dream", "gstored", "s2x")
+
+
+@pytest.fixture()
+def cluster():
+    return build_cluster(build_example_partitioning())
+
+
+class TestRegistry:
+    def test_engine_names_cover_all_five_evaluator_families(self):
+        assert engine_names() == ALL_ENGINES
+
+    def test_specs_are_sorted_and_summarized(self):
+        specs = engine_specs()
+        assert tuple(spec.name for spec in specs) == ALL_ENGINES
+        assert all(spec.summary for spec in specs)
+
+    @pytest.mark.parametrize(
+        ("alias", "canonical"),
+        [
+            ("DREAM", "dream"),
+            ("CliqueSquare", "decomp"),
+            ("S2RDF", "cloud"),
+            ("S2X", "s2x"),
+            ("central", "centralized"),
+            ("GStored", "gstored"),
+            ("  gstored  ", "gstored"),
+        ],
+    )
+    def test_aliases_resolve_case_insensitively(self, alias, canonical):
+        assert resolve_engine_name(alias) == canonical
+
+    def test_engine_spec_and_aliases_expose_the_registry(self):
+        from repro.api import engine_aliases, engine_spec
+
+        assert engine_spec("DREAM").name == "dream"
+        assert engine_spec("gstored").accepts_config is True
+        assert engine_aliases()["s2rdf"] == "cloud"
+        assert engine_aliases()["cliquesquare"] == "decomp"
+
+    def test_unknown_engine_error_enumerates_choices(self, cluster):
+        with pytest.raises(ValueError) as excinfo:
+            make_engine("sparql-over-carrier-pigeon", cluster)
+        message = str(excinfo.value)
+        for name in ALL_ENGINES:
+            assert name in message
+
+    def test_config_rejected_for_fixed_strategy_engines(self, cluster):
+        with pytest.raises(ValueError) as excinfo:
+            make_engine("dream", cluster, config=EngineConfig.full())
+        assert "EngineConfig" in str(excinfo.value)
+        assert "gstored" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        ("name", "inner_type"),
+        [
+            ("dream", DreamEngine),
+            ("decomp", CliqueSquareEngine),
+            ("cloud", S2RDFEngine),
+            ("s2x", S2XEngine),
+            ("gstored", GStoreDEngine),
+        ],
+    )
+    def test_factories_build_the_expected_engines(self, cluster, name, inner_type):
+        with make_engine(name, cluster) as engine:
+            assert isinstance(engine.inner, inner_type)
+
+    def test_every_registry_engine_satisfies_the_protocol(self, cluster):
+        for name in engine_names():
+            with make_engine(name, cluster) as engine:
+                assert isinstance(engine, QueryEngine)
+                result = engine.execute(example_query(), query_name=name)
+                assert isinstance(result, Result)
+                assert result.statistics.query_name == name
+
+
+class TestCentralizedEngine:
+    def test_records_a_single_timed_stage(self, cluster):
+        with CentralizedEngine(cluster) as engine:
+            result = engine.execute(example_query(), query_name="example", dataset="paper")
+        stats = result.statistics
+        assert stats.engine == "Centralized"
+        assert [stage.name for stage in stats.stages] == [STAGE_CENTRALIZED]
+        assert stats.total_shipment_bytes == 0
+        assert stats.num_results == len(result) == 4
+
+    def test_matcher_is_cached_across_queries_and_dropped_on_close(self, cluster):
+        engine = CentralizedEngine(cluster)
+        engine.execute(example_query())
+        first = engine._matcher
+        engine.execute(example_query())
+        assert engine._matcher is first
+        engine.close()
+        assert engine._matcher is None
+
+
+class TestContextManagers:
+    """Satellite: engines are context managers, so pools cannot leak."""
+
+    def test_gstored_engine_closes_owned_backend_on_exit(self, cluster):
+        config = EngineConfig.full().with_executor("threads", 2)
+        with GStoreDEngine(cluster, config) as engine:
+            engine.execute(example_query())
+            assert engine.backend._pool is not None
+        assert engine.backend._pool is None
+
+    def test_adapter_exit_closes_the_inner_engine(self, cluster):
+        config = EngineConfig.full().with_executor("threads", 2)
+        with make_engine("gstored", cluster, config=config) as engine:
+            engine.execute(example_query())
+        assert engine.inner.backend._pool is None
+
+    def test_injected_backend_survives_engine_close(self, cluster):
+        backend = repro.ThreadPoolBackend(2)
+        try:
+            config = EngineConfig.full().with_executor("threads", 2)
+            with make_engine("gstored", cluster, config=config, backend=backend) as engine:
+                engine.execute(example_query())
+            assert backend._pool is not None  # caller-owned pool stays warm
+        finally:
+            backend.close()
+
+    def test_baselines_support_with_blocks(self, cluster):
+        with DreamEngine(cluster) as engine:
+            assert len(engine.execute(example_query()).results) == 4
+
+
+class TestEngineAdapter:
+    def test_adapter_reports_the_inner_name(self, cluster):
+        adapter = EngineAdapter(S2XEngine(cluster))
+        assert adapter.name == "S2X"
+
+    def test_adapter_close_tolerates_engines_without_close(self, cluster):
+        class Bare:
+            name = "bare"
+
+            def execute(self, query, query_name="", dataset=""):  # pragma: no cover
+                raise NotImplementedError
+
+        EngineAdapter(Bare()).close()  # must not raise

@@ -1,0 +1,217 @@
+"""Tests for the :class:`repro.api.Session` facade and ``repro.open``."""
+
+import pytest
+
+import repro
+from repro import EngineConfig, Session
+from repro.api import Result
+from repro.datasets.paper_example import build_example_partitioning, example_query
+
+EXAMPLE_SPARQL = (
+    "PREFIX ex: <http://example.org/> "
+    'SELECT ?p2 ?l WHERE { ?t ex:label ?l . ?p1 ex:influencedBy ?p2 . '
+    '?p2 ex:mainInterest ?t . ?p1 ex:name "Crispin Wright"@en . }'
+)
+
+
+class TestOpen:
+    def test_open_defaults_to_the_paper_example(self):
+        with repro.open() as session:
+            assert session.dataset == "paper-example"
+            assert session.num_sites == 3
+            assert set(session.queries) == {"example"}
+
+    def test_open_named_dataset_prepares_cluster_and_queries(self):
+        with repro.open(dataset="yago2", sites=3) as session:
+            assert session.dataset == "YAGO2"
+            assert session.num_sites == 3
+            assert set(session.queries) == {"YQ1", "YQ2", "YQ3", "YQ4"}
+            assert session.partitioned.strategy == "hash"
+
+    def test_open_is_case_insensitive_and_accepts_partitioner(self):
+        with repro.open(dataset="LUBM", sites=2, partitioner="metis") as session:
+            assert session.partitioned.strategy == "metis"
+
+    def test_unknown_dataset_error_enumerates_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            repro.open(dataset="wikidata")
+        message = str(excinfo.value)
+        for choice in ("BTC", "LUBM", "YAGO2", "paper"):
+            assert choice in message
+
+    def test_unknown_engine_fails_before_first_query(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.open(dataset="paper", engine="sparkle")
+
+    def test_paper_partitioner_reproduces_figure1(self):
+        with repro.open(dataset="paper", partitioner="paper") as session:
+            assert session.partitioned.strategy == "figure1"
+            assert session.num_sites == 3
+
+    def test_paper_partitioner_rejects_other_site_counts(self):
+        with pytest.raises(ValueError, match="3 fragments"):
+            repro.open(dataset="paper", partitioner="paper", sites=5)
+
+    def test_paper_partitioner_matching_is_case_insensitive(self):
+        with repro.open(dataset="paper", partitioner=" Paper ") as session:
+            assert session.partitioned.strategy == "figure1"
+
+    def test_paper_partitioner_on_a_named_dataset_is_explained(self):
+        with pytest.raises(ValueError, match="dataset='paper'"):
+            repro.open(dataset="lubm", partitioner="paper")
+
+    def test_unknown_partitioner_error_enumerates_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            repro.open(dataset="lubm", partitioner="round_robin")
+        message = str(excinfo.value)
+        for choice in ("hash", "metis", "semantic_hash", "paper"):
+            assert choice in message
+
+    def test_config_options_flow_into_the_engine_config(self):
+        with repro.open(dataset="paper", use_lec_pruning=False) as session:
+            assert session.config.use_lec_pruning is False
+            assert session.engine("gstored").inner.config.use_lec_pruning is False
+
+    def test_explicit_config_object_is_honored(self):
+        with repro.open(dataset="paper", config=EngineConfig.basic()) as session:
+            assert session.config.use_candidate_exchange is False
+
+
+class TestQuery:
+    def test_query_accepts_text_name_and_parsed_query(self):
+        with repro.open(dataset="paper") as session:
+            by_text = session.query(EXAMPLE_SPARQL)
+            by_name = session.query("example")
+            by_object = session.query(example_query())
+            assert isinstance(by_text, Result)
+            assert by_text.sorted_rows() == by_name.sorted_rows() == by_object.sorted_rows()
+            # Named benchmark queries stamp their name into the statistics.
+            assert by_name.statistics.query_name == "example"
+            assert by_name.statistics.dataset == "paper-example"
+
+    def test_query_engine_override_and_caching(self):
+        with repro.open(dataset="paper") as session:
+            assert session._engines == {}  # engines are created lazily
+            session.query("example")  # materializes the default engine
+            session.query("example", engine="dream")
+            session.query("example", engine="DREAM")  # alias hits the same cache slot
+            assert set(session._engines) == {"gstored", "dream"}
+            assert session.engine("dream") is session.engine("DREAM")
+
+    def test_each_query_gets_fresh_network_accounting(self):
+        with repro.open(dataset="paper") as session:
+            first = session.query("example")
+            second = session.query("example")
+            assert (
+                first.statistics.total_shipment_bytes
+                == second.statistics.total_shipment_bytes
+            )
+
+    def test_executor_threads_is_used_and_annotated(self):
+        with repro.open(dataset="paper", executor="threads", workers=2) as session:
+            assert session.backend.name == "threads"
+            result = session.query("example")
+            assert result.statistics.extra["executor"] == "threads"
+            assert result.statistics.extra["max_workers"] == 2
+
+    def test_workers_alone_imply_threads(self):
+        with repro.open(dataset="paper", workers=2) as session:
+            assert session.backend.name == "threads"
+            assert session.backend.max_workers == 2
+
+    def test_explain_shows_the_plan(self):
+        with repro.open(dataset="paper") as session:
+            text = session.explain("example")
+            assert "query shape" in text
+            assert "vertex order" in text
+
+    def test_planner_cache_is_shared_across_queries(self):
+        with repro.open(dataset="paper") as session:
+            session.query("example")
+            hits_before = session.planner.cache.hits
+            session.query("example")
+            assert session.planner.cache.hits > hits_before
+
+
+class TestLifecycle:
+    def test_close_shuts_engines_and_backend_down(self):
+        session = repro.open(dataset="paper", executor="threads", workers=2)
+        session.query("example")
+        backend = session.backend
+        assert backend._pool is not None
+        session.close()
+        assert session.closed
+        assert backend._pool is None
+        assert session._engines == {}
+
+    def test_close_is_idempotent(self):
+        session = repro.open(dataset="paper")
+        session.close()
+        session.close()
+
+    def test_closed_session_rejects_work(self):
+        session = repro.open(dataset="paper")
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.query("example")
+        with pytest.raises(RuntimeError, match="closed"):
+            session.explain("example")
+        with pytest.raises(RuntimeError, match="closed"):
+            session.engine("dream")
+
+    def test_context_manager_closes_on_exception(self):
+        with pytest.raises(KeyError):
+            with repro.open(dataset="paper") as session:
+                raise KeyError("boom")
+        assert session.closed
+
+
+class TestAlternativeConstructors:
+    def test_from_partitioned_wraps_a_custom_partitioning(self):
+        partitioned = build_example_partitioning()
+        with Session.from_partitioned(partitioned, dataset="custom") as session:
+            assert session.partitioned is partitioned
+            result = session.query(EXAMPLE_SPARQL)
+            assert len(result) == 4
+
+    def test_from_cluster_shares_the_caller_cluster(self):
+        from repro.distributed import build_cluster
+
+        cluster = build_cluster(build_example_partitioning())
+        with Session.from_cluster(cluster) as session:
+            assert session.cluster is cluster
+            assert len(session.query(EXAMPLE_SPARQL)) == 4
+
+
+class TestCustomRegisteredEngines:
+    def test_accepts_config_engines_get_the_session_config_and_backend(self):
+        """Sessions dispatch on EngineSpec.accepts_config, not on the name."""
+        from repro.api import EngineSpec, register_engine
+        from repro.api.engines import _ALIASES, _REGISTRY
+
+        captured = {}
+
+        def factory(cluster, config, backend):
+            captured["config"] = config
+            captured["backend"] = backend
+            return repro.make_engine("gstored", cluster, config=config, backend=backend)
+
+        register_engine(
+            EngineSpec(
+                name="custom-gstored",
+                summary="test double",
+                factory=factory,
+                accepts_config=True,
+            )
+        )
+        try:
+            with repro.open(
+                dataset="paper", executor="threads", workers=2, engine="custom-gstored"
+            ) as session:
+                result = session.query("example")
+                assert len(result) == 4
+                assert captured["config"] is session.config
+                assert captured["backend"] is session.backend
+        finally:
+            _REGISTRY.pop("custom-gstored", None)
+            _ALIASES.pop("custom-gstored", None)

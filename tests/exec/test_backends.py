@@ -113,9 +113,12 @@ class TestMakeBackend:
         assert backend.max_workers == 2
         backend.close()
 
-    def test_unknown_executor_is_an_error(self):
-        with pytest.raises(ValueError, match="unknown executor"):
+    def test_unknown_executor_error_enumerates_choices(self):
+        with pytest.raises(ValueError, match="unknown executor") as excinfo:
             make_backend("mpi")
+        message = str(excinfo.value)
+        for choice in ("serial", "threads", "processes"):
+            assert choice in message
 
     def test_default_max_workers_floor(self, monkeypatch):
         monkeypatch.delenv(MAX_WORKERS_ENV_VAR, raising=False)

@@ -1,0 +1,110 @@
+"""Snapshot of the public API surface.
+
+Anything exported from ``repro`` or ``repro.api`` is a compatibility
+promise: downstream code imports these names, and the docs reference them.
+This test freezes the surface so an accidental rename/removal fails CI; a
+*deliberate* change updates the snapshot here (and ``docs/api.md``).
+"""
+
+import repro
+import repro.api
+
+#: Everything ``repro`` exports — keep sorted.
+REPRO_EXPORTS = [
+    "ABLATION_CONFIGS",
+    "Binding",
+    "CentralizedEngine",
+    "Cluster",
+    "DistributedResult",
+    "EngineConfig",
+    "ExecutorBackend",
+    "GStoreDEngine",
+    "GraphStatistics",
+    "HashPartitioner",
+    "IRI",
+    "LECFeature",
+    "Literal",
+    "LocalMatcher",
+    "LocalPartialMatch",
+    "MetisLikePartitioner",
+    "Namespace",
+    "NamespaceManager",
+    "OptimizationLevel",
+    "PartitionedGraph",
+    "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryStatistics",
+    "RDFGraph",
+    "Result",
+    "ResultSet",
+    "SelectQuery",
+    "SemanticHashPartitioner",
+    "SerialBackend",
+    "Session",
+    "ThreadPoolBackend",
+    "Triple",
+    "TripleStore",
+    "Variable",
+    "__version__",
+    "build_cluster",
+    "collect_statistics",
+    "engine_names",
+    "evaluate_centralized",
+    "make_backend",
+    "make_engine",
+    "make_partitioner",
+    "open",
+    "open_session",
+    "parse_query",
+    "partitioning_cost",
+    "quickstart_cluster",
+    "run_per_site",
+    "select_best_partitioning",
+]
+
+#: Everything ``repro.api`` exports — keep sorted.
+REPRO_API_EXPORTS = [
+    "CentralizedEngine",
+    "EngineAdapter",
+    "EngineSpec",
+    "QueryEngine",
+    "Result",
+    "STAGE_CENTRALIZED",
+    "Session",
+    "engine_aliases",
+    "engine_names",
+    "engine_spec",
+    "engine_specs",
+    "make_engine",
+    "open",
+    "open_session",
+    "register_engine",
+    "resolve_engine_name",
+]
+
+#: The engine registry is part of the CLI and docs contract too.
+ENGINE_REGISTRY_SNAPSHOT = ("centralized", "cloud", "decomp", "dream", "gstored", "s2x")
+
+
+def test_repro_all_matches_the_snapshot():
+    assert sorted(repro.__all__) == sorted(REPRO_EXPORTS)
+
+
+def test_repro_api_all_matches_the_snapshot():
+    assert sorted(repro.api.__all__) == sorted(REPRO_API_EXPORTS)
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_engine_registry_matches_the_snapshot():
+    assert repro.engine_names() == ENGINE_REGISTRY_SNAPSHOT
+
+
+def test_open_is_the_session_entry_point():
+    assert repro.open is repro.open_session is repro.api.open_session

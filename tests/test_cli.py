@@ -121,6 +121,73 @@ class TestQuery:
             assert exit_code == 0
 
 
+class TestQueryEngineRegistry:
+    """`repro query --engine` accepts every repro.api registry entry."""
+
+    QUERY = TestQuery.QUERY
+
+    @pytest.mark.parametrize(
+        "engine", ("gstored", "dream", "decomp", "cloud", "s2x", "centralized")
+    )
+    def test_every_registry_engine_runs(self, dataset_file, capsys, engine):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "2", "--engine", engine, "--query", self.QUERY]
+        )
+        assert exit_code == 0
+        assert "solutions" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("alias", ("s2rdf", "cliquesquare", "DREAM", "central", "gstore-d"))
+    def test_legacy_report_names_still_work(self, dataset_file, capsys, alias):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "2", "--engine", alias, "--query", self.QUERY]
+        )
+        assert exit_code == 0
+
+    def test_registry_engines_agree_on_solutions(self, dataset_file, capsys):
+        outputs = {}
+        for engine in ("gstored", "centralized", "dream"):
+            main(
+                ["query", "--data", str(dataset_file), "--sites", "2", "--engine", engine,
+                 "--query", self.QUERY, "--limit", "100"]
+            )
+            # Drop the banner line; solution lines must be identical.
+            outputs[engine] = sorted(capsys.readouterr().out.splitlines()[1:])
+        assert outputs["gstored"] == outputs["centralized"] == outputs["dream"]
+
+    def test_newly_registered_engines_are_reachable(self, dataset_file, capsys):
+        """The CLI reads the live registry, not an import-time snapshot."""
+        from repro.api import EngineSpec, make_engine, register_engine
+        from repro.api.engines import _ALIASES, _REGISTRY
+
+        register_engine(
+            EngineSpec(
+                name="cli-custom",
+                summary="test double",
+                factory=lambda cluster, config, backend: make_engine("centralized", cluster),
+            )
+        )
+        try:
+            exit_code = main(
+                ["query", "--data", str(dataset_file), "--sites", "2", "--engine", "cli-custom",
+                 "--query", self.QUERY]
+            )
+            assert exit_code == 0
+            assert "solutions" in capsys.readouterr().out
+        finally:
+            _REGISTRY.pop("cli-custom", None)
+            _ALIASES.pop("cli-custom", None)
+
+    def test_unknown_engine_names_every_choice(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--engine", "sparkle", "--query", self.QUERY]
+        )
+        assert exit_code == 2
+        message = capsys.readouterr().err
+        assert "unknown engine 'sparkle'" in message
+        for choice in ("gstored", "basic", "la", "lo", "dream", "decomp", "cloud", "s2x", "centralized"):
+            assert choice in message
+
+
 class TestQueryWorkers:
     QUERY = TestQuery.QUERY
 
@@ -257,11 +324,15 @@ class TestQueryExecutor:
         assert exit_code == 2
         assert "--executor serial" in capsys.readouterr().err
 
-    def test_unknown_executor_rejected_by_parser(self, dataset_file):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["query", "--data", str(dataset_file), "--executor", "mpi", "--query", self.QUERY]
-            )
+    def test_unknown_executor_names_every_choice(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--executor", "mpi", "--query", self.QUERY]
+        )
+        assert exit_code == 2
+        message = capsys.readouterr().err
+        assert "unknown executor 'mpi'" in message
+        for choice in ("serial", "threads", "processes"):
+            assert choice in message
 
     def test_executor_rejected_for_baseline_engines(self, dataset_file, capsys):
         exit_code = main(

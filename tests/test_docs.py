@@ -98,6 +98,25 @@ def test_docs_cover_the_execution_surface():
         assert f"`{name}`" in text, f"docs/execution.md does not document executor {name!r}"
 
 
+def test_docs_cover_the_api_surface():
+    text = (REPO_ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    for required in (
+        "repro.open",
+        "Session",
+        "make_engine",
+        "Result",
+        "sorted_rows",
+        "QueryEngine",
+        "DeprecationWarning",
+    ):
+        assert required in text, f"docs/api.md no longer mentions {required}"
+    # The documented registry must match the code's registry.
+    from repro.api import engine_names
+
+    for name in engine_names():
+        assert f"`{name}`" in text, f"docs/api.md does not document engine {name!r}"
+
+
 def test_docs_cover_every_benchmark_module():
     text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
     for module in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Set
 
 from ..rdf.terms import Node, PatternTerm, Variable
@@ -28,7 +29,10 @@ from ..rdf.terms import Node, PatternTerm, Variable
 DEFAULT_BIT_VECTOR_BITS = 4096
 
 
+@lru_cache(maxsize=1 << 16)
 def _candidate_hash(term: Node, width: int) -> int:
+    # Memoized: the same vertices are hashed by every query's vector build
+    # and by every extended-candidate filter probe during partial evaluation.
     digest = hashlib.sha1(term.n3().encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % width
 

@@ -65,6 +65,10 @@ class PartialEvaluator:
     ) -> None:
         self._fragment = fragment
         self._graph = graph if graph is not None else fragment.to_graph()
+        #: ``V_i ∪ Ve_i`` snapshotted once — ``Fragment.all_vertices`` builds
+        #: a fresh union set per call, far too expensive for the per-branch
+        #: assignment check in :meth:`_try_assign`.
+        self._local_vertices = fragment.all_vertices
         #: When True, every produced LPM is re-checked against Definition 5
         #: (slower; used by tests).
         self._paranoid = paranoid
@@ -256,7 +260,7 @@ class PartialEvaluator:
         if isinstance(vertex, (IRI, Literal)):
             if vertex != value:
                 return False
-        if value not in self._fragment.all_vertices:
+        if value not in self._local_vertices:
             return False
         if (
             candidate_filter is not None

@@ -16,6 +16,13 @@ filter, config knobs), and what the coordinator accounts for comes *out*
 through small result dataclasses — the same objects whose shipment the
 message bus then charges, so ``shipped_bytes``/``messages`` cannot depend on
 which process produced them.
+
+The stage bodies themselves run on the site store's dictionary-encoded
+matching kernel (:mod:`repro.store.encoding`): local evaluation and internal
+candidate computation work on integer ids inside the store and decode to
+:class:`~repro.rdf.terms.Node` objects only at this task boundary, so the
+payloads and results — and therefore the shipment accounting — are identical
+to the pre-encoding object path.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from ..rdf.ntriples import dump as dump_ntriples
 from ..rdf.ntriples import load as load_ntriples
 from ..rdf.ntriples import parse_line, parse_term
 from ..rdf.terms import Node
+from ..rdf.triples import Triple
 from .fragment import Fragment, PartitionedGraph, build_partitioned_graph
 
 PathLike = Union[str, Path]
@@ -27,8 +28,12 @@ PathLike = Union[str, Path]
 #: Format marker written into every assignment file.
 _FORMAT = "repro-partitioning/1"
 
-#: Format marker of a single serialized fragment payload.
-_FRAGMENT_FORMAT = "repro-fragment/1"
+#: Format marker of a dictionary-encoded fragment payload (current).
+_FRAGMENT_FORMAT = "repro-fragment/2"
+
+#: Format marker of the legacy payload that repeated every term's N3 text in
+#: every vertex and edge entry; still readable, no longer written.
+_FRAGMENT_FORMAT_V1 = "repro-fragment/1"
 
 
 def assignment_to_dict(partitioned: PartitionedGraph) -> Dict[str, object]:
@@ -82,32 +87,72 @@ def load_partitioning(
 def fragment_to_payload(fragment: Fragment) -> Dict[str, object]:
     """Plain-data (JSON- and pickle-safe) representation of one fragment.
 
-    Vertices and edges are serialized as N3 text and sorted, so equal
-    fragments always produce equal payloads.  This is the unit the
-    process-pool execution backend ships to its workers: each worker rebuilds
-    every site's fragment from these payloads exactly once, in its
-    initializer (:mod:`repro.exec.worker`).
+    The payload is dictionary-encoded: every distinct term of the fragment
+    (vertices and predicates) is serialized as N3 text exactly once, in the
+    sorted ``terms`` list, and vertices/edges reference terms by their index
+    in that list.  Sorting the dictionary and every id list makes equal
+    fragments produce equal payloads, and shipping each term once makes the
+    pickles the process-pool execution backend sends to its workers much
+    smaller than the v1 format, which repeated the full N3 text of every
+    term in every edge (:mod:`repro.exec.worker` rebuilds every site's
+    fragment from these payloads exactly once, in its initializer).
     """
+    terms = set(fragment.internal_vertices)
+    terms.update(fragment.extended_vertices)
+    for edge in fragment.internal_edges:
+        terms.update((edge.subject, edge.predicate, edge.object))
+    for edge in fragment.crossing_edges:
+        terms.update((edge.subject, edge.predicate, edge.object))
+    # N3 text is unique per term (types have disjoint surface syntax), so it
+    # is a canonical sort key and the round trip needs one parse per term.
+    ordered = sorted(term.n3() for term in terms)
+    term_id = {text: position for position, text in enumerate(ordered)}
+
+    def edge_ids(edges) -> List[List[int]]:
+        return sorted(
+            [term_id[e.subject.n3()], term_id[e.predicate.n3()], term_id[e.object.n3()]]
+            for e in edges
+        )
+
     return {
         "format": _FRAGMENT_FORMAT,
         "fragment_id": fragment.fragment_id,
-        "internal_vertices": sorted(vertex.n3() for vertex in fragment.internal_vertices),
-        "extended_vertices": sorted(vertex.n3() for vertex in fragment.extended_vertices),
-        "internal_edges": sorted(edge.n3() for edge in fragment.internal_edges),
-        "crossing_edges": sorted(edge.n3() for edge in fragment.crossing_edges),
+        "terms": ordered,
+        "internal_vertices": sorted(term_id[v.n3()] for v in fragment.internal_vertices),
+        "extended_vertices": sorted(term_id[v.n3()] for v in fragment.extended_vertices),
+        "internal_edges": edge_ids(fragment.internal_edges),
+        "crossing_edges": edge_ids(fragment.crossing_edges),
     }
 
 
 def fragment_from_payload(payload: Dict[str, object]) -> Fragment:
-    """Rebuild a :class:`Fragment` written by :func:`fragment_to_payload`."""
-    if payload.get("format") != _FRAGMENT_FORMAT:
-        raise ValueError(f"not a repro fragment payload: {payload.get('format')!r}")
+    """Rebuild a :class:`Fragment` written by :func:`fragment_to_payload`.
+
+    Accepts both the current dictionary-encoded format and the legacy v1
+    format that spelled every term out in place.
+    """
+    marker = payload.get("format")
+    if marker == _FRAGMENT_FORMAT_V1:
+        return Fragment(
+            fragment_id=int(payload["fragment_id"]),
+            internal_vertices={parse_term(text) for text in payload["internal_vertices"]},
+            extended_vertices={parse_term(text) for text in payload["extended_vertices"]},
+            internal_edges={parse_line(text) for text in payload["internal_edges"]},
+            crossing_edges={parse_line(text) for text in payload["crossing_edges"]},
+        )
+    if marker != _FRAGMENT_FORMAT:
+        raise ValueError(f"not a repro fragment payload: {marker!r}")
+    terms = [parse_term(text) for text in payload["terms"]]
+
+    def edges(entries) -> set:
+        return {Triple(terms[s], terms[p], terms[o]) for s, p, o in entries}
+
     return Fragment(
         fragment_id=int(payload["fragment_id"]),
-        internal_vertices={parse_term(text) for text in payload["internal_vertices"]},
-        extended_vertices={parse_term(text) for text in payload["extended_vertices"]},
-        internal_edges={parse_line(text) for text in payload["internal_edges"]},
-        crossing_edges={parse_line(text) for text in payload["crossing_edges"]},
+        internal_vertices={terms[i] for i in payload["internal_vertices"]},
+        extended_vertices={terms[i] for i in payload["extended_vertices"]},
+        internal_edges=edges(payload["internal_edges"]),
+        crossing_edges=edges(payload["crossing_edges"]),
     )
 
 

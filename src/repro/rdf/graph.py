@@ -34,6 +34,10 @@ class RDFGraph:
     def __init__(self, triples: Optional[Iterable[Triple]] = None, name: str = "") -> None:
         self.name = name
         self._triples: Set[Triple] = set()
+        # Mutation counter: bumped by every successful add/discard so derived
+        # views (e.g. the dictionary-encoded kernel in repro.store.encoding)
+        # can cache themselves against one graph state and rebuild lazily.
+        self._version = 0
         # Permutation indexes.
         self._spo: Dict[Node, Dict[IRI, Set[Node]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[IRI, Dict[Node, Set[Node]]] = defaultdict(lambda: defaultdict(set))
@@ -59,6 +63,7 @@ class RDFGraph:
         self._osp[o][s].add(p)
         self._out[s].add(triple)
         self._in[o].add(triple)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -76,6 +81,7 @@ class RDFGraph:
         self._osp[o][s].discard(p)
         self._out[s].discard(triple)
         self._in[o].discard(triple)
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------
@@ -138,19 +144,50 @@ class RDFGraph:
         predicate: Optional[IRI] = None,
         object: Optional[Node] = None,
     ) -> int:
-        """Number of triples matching the given bound positions."""
-        return sum(1 for _ in self.triples(subject, predicate, object))
+        """Number of triples matching the given bound positions.
+
+        Answered from index lengths wherever an index covers the shape, so no
+        :class:`Triple` objects are materialized just to be counted.
+        """
+        if subject is not None and predicate is not None and object is not None:
+            return 1 if Triple(subject, predicate, object) in self._triples else 0
+        if subject is not None and predicate is not None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if subject is not None and object is not None:
+            return len(self._osp.get(object, {}).get(subject, ()))
+        if predicate is not None and object is not None:
+            return sum(
+                1 for objects in self._pos.get(predicate, {}).values() if object in objects
+            )
+        if subject is not None:
+            return len(self._out.get(subject, ()))
+        if object is not None:
+            return len(self._in.get(object, ()))
+        if predicate is not None:
+            return sum(len(objects) for objects in self._pos.get(predicate, {}).values())
+        return len(self._triples)
 
     # ------------------------------------------------------------------
     # Graph view
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every add/discard).
+
+        Derived structures cache against this value and rebuild lazily when
+        it moves, instead of eagerly invalidating on every write.
+        """
+        return self._version
+
     @property
     def vertices(self) -> Set[Node]:
         """All subjects and objects of the graph."""
         found: Set[Node] = set()
         found.update(self._out.keys())
         found.update(self._in.keys())
-        return {v for v in found if self._out[v] or self._in[v]}
+        # .get() keeps the membership probe from inserting empty sets into
+        # the adjacency defaultdicts (which would grow memory on every call).
+        return {v for v in found if self._out.get(v) or self._in.get(v)}
 
     @property
     def predicates(self) -> Set[IRI]:

@@ -1,18 +1,22 @@
-"""Local triple store substrate: signatures, candidates, matcher, store facade."""
+"""Local triple store substrate: encoding, signatures, candidates, matcher, store facade."""
 
 from .candidates import candidate_sizes, compute_candidates, edge_supported
+from .encoding import EncodedGraph, TermDictionary, encoded_view
 from .matcher import LocalMatcher, evaluate_centralized
 from .signatures import DEFAULT_SIGNATURE_BITS, SignatureIndex, VertexSignature
 from .triple_store import TripleStore
 
 __all__ = [
     "DEFAULT_SIGNATURE_BITS",
+    "EncodedGraph",
     "LocalMatcher",
     "SignatureIndex",
+    "TermDictionary",
     "TripleStore",
     "VertexSignature",
     "candidate_sizes",
     "compute_candidates",
     "edge_supported",
+    "encoded_view",
     "evaluate_centralized",
 ]

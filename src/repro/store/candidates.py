@@ -7,6 +7,13 @@ material of the paper's third optimization (Section VI): each site computes
 the *internal* candidates of every variable, compresses them into a bit
 vector, and the coordinator ORs the vectors so sites can discard extended
 candidates that are internal nowhere.
+
+The computation runs on the graph's dictionary-encoded view
+(:mod:`repro.store.encoding`): seeds, edge-support probes and signature
+containment all work on integer ids, and the resulting id sets are decoded
+to :class:`~repro.rdf.terms.Node` sets only at this module's public
+boundary.  :func:`compute_candidate_ids` is the kernel-side entry point the
+matcher uses directly, skipping the decode/re-encode round trip.
 """
 
 from __future__ import annotations
@@ -15,8 +22,26 @@ from typing import Dict, Iterable, Optional, Set
 
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
-from ..sparql.query_graph import QueryGraph
+from ..sparql.query_graph import QueryEdge, QueryGraph
+from .encoding import PREDICATE_ABSENT, PREDICATE_ANY, EncodedGraph, encoded_view
 from .signatures import SignatureIndex
+
+
+def predicate_code(encoded: EncodedGraph, predicate: PatternTerm) -> int:
+    """The kernel code of a query-edge predicate.
+
+    Variables map to :data:`~repro.store.encoding.PREDICATE_ANY`; constant
+    IRIs map to their dictionary id, or
+    :data:`~repro.store.encoding.PREDICATE_ABSENT` when the graph never uses
+    the label (no data edge can match).  Non-IRI constants cannot label data
+    edges, so they are absent by construction.
+    """
+    if isinstance(predicate, Variable):
+        return PREDICATE_ANY
+    if not isinstance(predicate, IRI):
+        return PREDICATE_ABSENT
+    predicate_id = encoded.dictionary.get(predicate)
+    return PREDICATE_ABSENT if predicate_id is None else predicate_id
 
 
 def edge_supported(
@@ -32,17 +57,63 @@ def edge_supported(
     endpoint when it is a constant; the other endpoint being a variable means
     any neighbour will do.
     """
+    encoded = encoded_view(graph)
+    vertex_id = encoded.dictionary.get(vertex)
+    if vertex_id is None:
+        return False
     edge = query.edge_at(edge_index)
-    predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
+    if query_vertex not in (edge.subject, edge.object):
+        raise ValueError("query vertex is not an endpoint of the given edge")
+    return _edge_supported_id(encoded, vertex_id, edge, query_vertex)
+
+
+def _edge_supported_id(
+    encoded: EncodedGraph,
+    vertex_id: int,
+    edge: QueryEdge,
+    query_vertex: PatternTerm,
+) -> bool:
+    """Integer-kernel edge-support probe (see :func:`edge_supported`)."""
+    code = predicate_code(encoded, edge.predicate)
     if edge.subject == query_vertex:
         other = edge.object
-        other_bound = None if isinstance(other, Variable) else other
-        return any(True for _ in graph.triples(vertex, predicate, other_bound))
-    if edge.object == query_vertex:
-        other = edge.subject
-        other_bound = None if isinstance(other, Variable) else other
-        return any(True for _ in graph.triples(other_bound, predicate, vertex))
-    raise ValueError("query vertex is not an endpoint of the given edge")
+        if isinstance(other, Variable):
+            return encoded.has_out_edge(vertex_id, code)
+        other_id = encoded.dictionary.get(other)
+        return other_id is not None and encoded.has_edge(vertex_id, code, other_id)
+    other = edge.subject
+    if isinstance(other, Variable):
+        return encoded.has_in_edge(vertex_id, code)
+    other_id = encoded.dictionary.get(other)
+    return other_id is not None and encoded.has_edge(other_id, code, vertex_id)
+
+
+def compute_candidate_ids(
+    encoded: EncodedGraph,
+    query: QueryGraph,
+    signature_index: SignatureIndex,
+    relaxed_edges: Optional[Dict[PatternTerm, Set[int]]] = None,
+) -> Dict[PatternTerm, Set[int]]:
+    """Candidate *ids* for every query vertex — the matcher's fast path.
+
+    Same semantics as :func:`compute_candidates` (without ``restrict_to``),
+    but input and output stay in the integer domain of ``encoded``.
+    """
+    relaxed_edges = relaxed_edges or {}
+    candidates: Dict[PatternTerm, Set[int]] = {}
+    for query_vertex in query.vertices:
+        relaxed = relaxed_edges.get(query_vertex, set())
+        if isinstance(query_vertex, (IRI, Literal)):
+            vertex_id = encoded.dictionary.get(query_vertex)
+            if vertex_id is not None and encoded.is_vertex(vertex_id):
+                candidates[query_vertex] = {vertex_id}
+            else:
+                candidates[query_vertex] = set()
+        else:
+            candidates[query_vertex] = _variable_candidate_ids(
+                encoded, query, query_vertex, signature_index, relaxed
+            )
+    return candidates
 
 
 def compute_candidates(
@@ -77,58 +148,76 @@ def compute_candidates(
         Mapping each query vertex (constant vertices included) to the set of
         data vertices that could match it based on local-only checks.
     """
-    relaxed_edges = relaxed_edges or {}
+    encoded = encoded_view(graph)
     index = signature_index or SignatureIndex(graph)
-    vertices_universe = graph.vertices
+    id_candidates = compute_candidate_ids(encoded, query, index, relaxed_edges)
+    decode = encoded.dictionary.decode_ids
     candidates: Dict[PatternTerm, Set[Node]] = {}
-    for query_vertex in query.vertices:
-        relaxed = relaxed_edges.get(query_vertex, set())
-        if isinstance(query_vertex, (IRI, Literal)):
-            found = {query_vertex} if query_vertex in vertices_universe else set()
-        else:
-            found = _variable_candidates(graph, query, query_vertex, index, relaxed)
+    for query_vertex, ids in id_candidates.items():
+        found = decode(ids)
         if restrict_to is not None:
             found &= restrict_to
         candidates[query_vertex] = found
     return candidates
 
 
-def _variable_candidates(
-    graph: RDFGraph,
+def _variable_candidate_ids(
+    encoded: EncodedGraph,
     query: QueryGraph,
     query_vertex: PatternTerm,
     index: SignatureIndex,
     relaxed: Set[int],
-) -> Set[Node]:
+) -> Set[int]:
     required_edges = [edge for edge in query.edges_of(query_vertex) if edge.index not in relaxed]
     if not required_edges:
         # Every incident edge was relaxed: any vertex could match.
-        return set(graph.vertices)
+        return set(encoded.vertex_ids)
     # Seed with the most selective incident edge to avoid scanning all vertices.
-    seed: Optional[Set[Node]] = None
+    seed: Optional[Set[int]] = None
     for edge in required_edges:
-        predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
-        if edge.subject == query_vertex:
-            other = edge.object
-            other_bound = None if isinstance(other, Variable) else other
-            matching = {t.subject for t in graph.triples(None, predicate, other_bound)}
-        else:
-            other = edge.subject
-            other_bound = None if isinstance(other, Variable) else other
-            matching = {t.object for t in graph.triples(other_bound, predicate, None)}
+        matching = _edge_endpoint_ids(encoded, edge, query_vertex)
         if seed is None or len(matching) < len(seed):
             seed = matching
-        if seed is not None and not seed:
+        if not seed:
             return set()
     assert seed is not None
-    needed_signature = index.query_signature(query, query_vertex, skip_edges=relaxed)
-    survivors: Set[Node] = set()
-    for vertex in seed:
-        if not index.signature_of(vertex).covers(needed_signature):
+    needed = index.query_signature(query, query_vertex, skip_edges=relaxed).bits
+    signature_bits = index.bits_table(encoded)
+    survivors: Set[int] = set()
+    for vertex_id in seed:
+        if (signature_bits[vertex_id] & needed) != needed:
             continue
-        if all(edge_supported(graph, vertex, query, query_vertex, edge.index) for edge in required_edges):
-            survivors.add(vertex)
+        if all(
+            _edge_supported_id(encoded, vertex_id, edge, query_vertex)
+            for edge in required_edges
+        ):
+            survivors.add(vertex_id)
     return survivors
+
+
+def _edge_endpoint_ids(
+    encoded: EncodedGraph, edge: QueryEdge, query_vertex: PatternTerm
+) -> Set[int]:
+    """Ids of data vertices that could sit at ``query_vertex``'s end of ``edge``.
+
+    Returns live index sets — callers only iterate them, never mutate.
+    """
+    code = predicate_code(encoded, edge.predicate)
+    if edge.subject == query_vertex:
+        other = edge.object
+        if isinstance(other, Variable):
+            return encoded.subjects_of_predicate(code)
+        other_id = encoded.dictionary.get(other)
+        if other_id is None:
+            return set()
+        return encoded.subjects_to(code, other_id)
+    other = edge.subject
+    if isinstance(other, Variable):
+        return encoded.objects_of_predicate(code)
+    other_id = encoded.dictionary.get(other)
+    if other_id is None:
+        return set()
+    return encoded.objects_from(other_id, code)
 
 
 def candidate_sizes(candidates: Dict[PatternTerm, Set[Node]]) -> Dict[str, int]:

@@ -1,0 +1,284 @@
+"""Dictionary encoding: the integer substrate of the matching kernel.
+
+Real RDF stores (S2RDF, gStore) dictionary-encode terms into dense integer
+ids so that the join/matching kernel runs on machine integers instead of
+term objects.  This module is that layer for the reproduction:
+
+* :class:`TermDictionary` maps every term of one graph (vertices *and*
+  predicates) to a dense id.  Ids are assigned in the total order
+  ``(type name, n3 text)`` — exactly the order the matcher has always used
+  to sort candidate pools — so **sorting ids is sorting candidates**: the
+  backtracking search stays bit-for-bit deterministic (same answers, same
+  ``search_steps``) while every per-step ``node.n3()`` sort disappears.
+* :class:`EncodedGraph` holds the integer permutation indexes
+  (``spo``: s→p→{o}, ``pos``: p→o→{s}, ``osp``: o→s→{p}) plus per-vertex
+  neighbour sets, giving the matcher O(1) set-membership edge probes.
+* :func:`encoded_view` caches one :class:`EncodedGraph` per graph, keyed on
+  :attr:`~repro.rdf.graph.RDFGraph.version`, so the encoding is built
+  lazily, reused across queries, and rebuilt only after a mutation —
+  the same lifecycle as the signature index and planner statistics.
+
+Decoding happens only at result boundaries (bindings, candidate sets handed
+to the distributed layers); everything inside the kernel is ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.graph import RDFGraph
+from ..rdf.terms import Node, Term
+
+#: Predicate code of a query edge whose predicate is a variable ("any label").
+PREDICATE_ANY = -1
+#: Predicate code of a constant query predicate that cannot match any data
+#: edge (the IRI is absent from the graph, or the term is not an IRI at all).
+PREDICATE_ABSENT = -2
+
+_EMPTY_DICT: Dict[int, Set[int]] = {}
+_EMPTY_SET: Set[int] = set()
+
+#: Attribute under which :func:`encoded_view` caches the per-graph encoding.
+_CACHE_ATTRIBUTE = "_repro_encoded_view"
+
+
+def term_sort_key(term: Term) -> Tuple[str, str]:
+    """The canonical total order on terms: by type name, then surface syntax.
+
+    This is the order the object-path matcher sorted candidate pools with;
+    the dictionary assigns ids in this order, which is what makes integer
+    order and candidate order the same thing.
+    """
+    return (type(term).__name__, term.n3())
+
+
+class TermDictionary:
+    """A bidirectional Node ↔ dense-int-id mapping for one graph.
+
+    Ids are dense (``0..len-1``) and assigned in :func:`term_sort_key` order
+    over *all* terms of the graph — vertices and predicates alike — so any
+    subset of ids sorts exactly like the corresponding terms.
+    """
+
+    __slots__ = ("_ids", "_terms", "_n3")
+
+    def __init__(self, terms: Iterable[Term]) -> None:
+        decorated = sorted((term_sort_key(term), term) for term in set(terms))
+        self._terms: List[Term] = [term for _, term in decorated]
+        self._n3: List[str] = [key[1] for key, _ in decorated]
+        self._ids: Dict[Term, int] = {
+            term: position for position, term in enumerate(self._terms)
+        }
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def id_of(self, term: Term) -> int:
+        """The id of ``term``; raises ``KeyError`` for unknown terms."""
+        return self._ids[term]
+
+    def get(self, term: Term) -> Optional[int]:
+        """The id of ``term``, or ``None`` when the graph never saw it."""
+        return self._ids.get(term)
+
+    def term_of(self, term_id: int) -> Term:
+        """The term behind ``term_id`` (dense ids make this a list lookup)."""
+        return self._terms[term_id]
+
+    def n3_of(self, term_id: int) -> str:
+        """The (precomputed) N3 text of ``term_id`` — no re-serialization."""
+        return self._n3[term_id]
+
+    def encode_nodes(self, nodes: Iterable[Node]) -> Set[int]:
+        """Ids of ``nodes``, silently dropping terms unknown to the graph."""
+        ids = self._ids
+        return {ids[node] for node in nodes if node in ids}
+
+    def decode_ids(self, ids: Iterable[int]) -> Set[Node]:
+        """The terms behind ``ids`` as a set of nodes."""
+        terms = self._terms
+        return {terms[term_id] for term_id in ids}
+
+
+class EncodedGraph:
+    """Integer adjacency indexes over one :class:`~repro.rdf.graph.RDFGraph`.
+
+    All probes the matching kernel performs — "does edge (s, p, o) exist",
+    "which subjects reach object o via p", "which objects does s reach via
+    p" — are O(1) dictionary/set lookups here, against ids from
+    :attr:`dictionary`.
+    """
+
+    __slots__ = (
+        "dictionary",
+        "_spo",
+        "_pos",
+        "_osp",
+        "_out_nbrs",
+        "_in_nbrs",
+        "_p_subjects",
+        "_p_objects",
+        "_all_subjects",
+        "_all_objects",
+        "_vertex_ids",
+        "_sorted_vertex_ids",
+        "_num_triples",
+    )
+
+    def __init__(self, graph: RDFGraph) -> None:
+        terms: Set[Term] = set()
+        for triple in graph:
+            terms.add(triple.subject)
+            terms.add(triple.predicate)
+            terms.add(triple.object)
+        self.dictionary = TermDictionary(terms)
+        id_of = self.dictionary.id_of
+        spo: Dict[int, Dict[int, Set[int]]] = {}
+        pos: Dict[int, Dict[int, Set[int]]] = {}
+        osp: Dict[int, Dict[int, Set[int]]] = {}
+        out_nbrs: Dict[int, Set[int]] = {}
+        in_nbrs: Dict[int, Set[int]] = {}
+        p_subjects: Dict[int, Set[int]] = {}
+        p_objects: Dict[int, Set[int]] = {}
+        for triple in graph:
+            s, p, o = id_of(triple.subject), id_of(triple.predicate), id_of(triple.object)
+            spo.setdefault(s, {}).setdefault(p, set()).add(o)
+            pos.setdefault(p, {}).setdefault(o, set()).add(s)
+            osp.setdefault(o, {}).setdefault(s, set()).add(p)
+            out_nbrs.setdefault(s, set()).add(o)
+            in_nbrs.setdefault(o, set()).add(s)
+            p_subjects.setdefault(p, set()).add(s)
+            p_objects.setdefault(p, set()).add(o)
+        self._spo = spo
+        self._pos = pos
+        self._osp = osp
+        self._out_nbrs = out_nbrs
+        self._in_nbrs = in_nbrs
+        self._p_subjects = p_subjects
+        self._p_objects = p_objects
+        self._all_subjects: Set[int] = set(out_nbrs)
+        self._all_objects: Set[int] = set(in_nbrs)
+        self._vertex_ids: Set[int] = self._all_subjects | self._all_objects
+        # Ids are assigned in candidate-sort order, so this is the "all
+        # vertices" candidate pool, pre-sorted once at encode time.
+        self._sorted_vertex_ids: Tuple[int, ...] = tuple(sorted(self._vertex_ids))
+        self._num_triples = len(graph)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_triples(self) -> int:
+        return self._num_triples
+
+    @property
+    def vertex_ids(self) -> Set[int]:
+        """Ids of every subject/object vertex (predicates excluded)."""
+        return self._vertex_ids
+
+    @property
+    def sorted_vertex_ids(self) -> Tuple[int, ...]:
+        """All vertex ids in canonical (= candidate sort) order."""
+        return self._sorted_vertex_ids
+
+    def is_vertex(self, term_id: int) -> bool:
+        """Is ``term_id`` a subject or object of some triple?"""
+        return term_id in self._vertex_ids
+
+    def iter_triple_ids(self) -> Iterator[Tuple[int, int, int]]:
+        """Every triple as an ``(s, p, o)`` id tuple (index order, not sorted)."""
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield (s, p, o)
+
+    # ------------------------------------------------------------------
+    # Kernel probes (all O(1) dictionary/set lookups)
+    # ------------------------------------------------------------------
+    def has_edge(self, subject_id: int, predicate_code: int, object_id: int) -> bool:
+        """Does the data edge exist?  ``predicate_code`` may be a sentinel.
+
+        :data:`PREDICATE_ANY` matches any label (variable query predicate);
+        :data:`PREDICATE_ABSENT` matches nothing.
+        """
+        if predicate_code >= 0:
+            return object_id in self._spo.get(subject_id, _EMPTY_DICT).get(
+                predicate_code, _EMPTY_SET
+            )
+        if predicate_code == PREDICATE_ANY:
+            return subject_id in self._osp.get(object_id, _EMPTY_DICT)
+        return False
+
+    def subjects_to(self, predicate_code: int, object_id: int) -> Set[int]:
+        """Ids of subjects with an edge labelled ``predicate_code`` into ``object_id``."""
+        if predicate_code >= 0:
+            return self._pos.get(predicate_code, _EMPTY_DICT).get(object_id, _EMPTY_SET)
+        if predicate_code == PREDICATE_ANY:
+            return self._in_nbrs.get(object_id, _EMPTY_SET)
+        return _EMPTY_SET
+
+    def objects_from(self, subject_id: int, predicate_code: int) -> Set[int]:
+        """Ids of objects reached from ``subject_id`` via ``predicate_code``."""
+        if predicate_code >= 0:
+            return self._spo.get(subject_id, _EMPTY_DICT).get(predicate_code, _EMPTY_SET)
+        if predicate_code == PREDICATE_ANY:
+            return self._out_nbrs.get(subject_id, _EMPTY_SET)
+        return _EMPTY_SET
+
+    def subjects_of_predicate(self, predicate_code: int) -> Set[int]:
+        """Ids of all subjects of edges labelled ``predicate_code``."""
+        if predicate_code >= 0:
+            return self._p_subjects.get(predicate_code, _EMPTY_SET)
+        if predicate_code == PREDICATE_ANY:
+            return self._all_subjects
+        return _EMPTY_SET
+
+    def objects_of_predicate(self, predicate_code: int) -> Set[int]:
+        """Ids of all objects of edges labelled ``predicate_code``."""
+        if predicate_code >= 0:
+            return self._p_objects.get(predicate_code, _EMPTY_SET)
+        if predicate_code == PREDICATE_ANY:
+            return self._all_objects
+        return _EMPTY_SET
+
+    def has_out_edge(self, subject_id: int, predicate_code: int) -> bool:
+        """Does ``subject_id`` have any outgoing edge labelled ``predicate_code``?"""
+        if predicate_code >= 0:
+            return predicate_code in self._spo.get(subject_id, _EMPTY_DICT)
+        if predicate_code == PREDICATE_ANY:
+            return subject_id in self._out_nbrs
+        return False
+
+    def has_in_edge(self, object_id: int, predicate_code: int) -> bool:
+        """Does ``object_id`` have any incoming edge labelled ``predicate_code``?"""
+        if predicate_code >= 0:
+            return object_id in self._pos.get(predicate_code, _EMPTY_DICT)
+        if predicate_code == PREDICATE_ANY:
+            return object_id in self._in_nbrs
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<EncodedGraph terms={len(self.dictionary)} "
+            f"vertices={len(self._vertex_ids)} triples={self._num_triples}>"
+        )
+
+
+def encoded_view(graph: RDFGraph) -> EncodedGraph:
+    """The (cached) dictionary-encoded view of ``graph``.
+
+    Built lazily on first use, cached on the graph object, and rebuilt when
+    the graph's :attr:`~repro.rdf.graph.RDFGraph.version` moves — i.e. the
+    encoding is invalidated by mutation exactly like the signature index and
+    the planner statistics, but revalidation is a version compare, not an
+    eager rebuild.
+    """
+    cached = getattr(graph, _CACHE_ATTRIBUTE, None)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    encoded = EncodedGraph(graph)
+    setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
+    return encoded

@@ -10,6 +10,15 @@ connectivity-preserving order, with candidate filtering (signatures +
 per-edge support) done upfront.  Variables on predicates are supported.
 Distinct query vertices may map to the same data vertex (homomorphism, not
 isomorphism), matching SPARQL semantics.
+
+Since the dictionary-encoding PR the search itself runs entirely on dense
+integer ids from :mod:`repro.store.encoding`: candidate pools are id sets
+sorted once per query (id order *is* the old ``(type, n3)`` candidate
+order, so answers and ``search_steps`` are bit-identical to the object
+path), edge checks are O(1) integer set probes against the encoded
+``spo``/``pos``/``osp`` indexes, and assignments decode back to
+:class:`~repro.rdf.terms.Node` objects only when a complete match is
+yielded.
 """
 
 from __future__ import annotations
@@ -18,23 +27,42 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..planner.optimizer import QueryPlanner
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import IRI, Node, PatternTerm, Variable
+from ..rdf.terms import Node, PatternTerm, Variable
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
-from ..sparql.query_graph import QueryEdge, QueryGraph, traversal_order
-from .candidates import compute_candidates
+from ..sparql.query_graph import QueryGraph, traversal_order
+from .candidates import compute_candidate_ids, predicate_code
+from .encoding import EncodedGraph, encoded_view
 from .signatures import SignatureIndex
 
 
-def _candidate_sort_key(node: Node) -> Tuple[str, str]:
-    """A total order on data vertices: by term type, then surface syntax.
+class _CompiledVertex:
+    """Everything the kernel needs about one query vertex, precompiled to ints.
 
-    Candidate pools are sets, so without an explicit order the backtracking
-    search visits data vertices in hash order — correct but irreproducible,
-    which makes planner A/B comparisons noisy.  Sorting makes every run of
-    the matcher deterministic.
+    Built once per ``find_matches`` call; the backtracking loop then touches
+    only integer tuples and id sets.
     """
-    return (type(node).__name__, node.n3())
+
+    __slots__ = ("index", "pool", "sorted_pool", "narrow_edges", "check_edges")
+
+    def __init__(
+        self,
+        index: int,
+        pool: Set[int],
+        narrow_edges: List[Tuple[bool, int, int]],
+        check_edges: List[Tuple[bool, int, bool, int, int]],
+    ) -> None:
+        self.index = index
+        self.pool = pool
+        #: Ids sort exactly like the old ``(type, n3)`` candidate order, so
+        #: this sort happens once per query instead of once per search step.
+        self.sorted_pool = sorted(pool)
+        #: ``(vertex_is_subject, predicate_code, other_vertex_index)`` per
+        #: incident non-loop edge, in query-edge order.
+        self.narrow_edges = narrow_edges
+        #: ``(subject_is_self, subject_index, object_is_self, object_index,
+        #: predicate_code)`` per incident edge (loops included).
+        self.check_edges = check_edges
 
 
 class LocalMatcher:
@@ -108,7 +136,8 @@ class LocalMatcher:
         of the search space is explored before failures are detected.
         """
         self.search_steps = 0
-        candidates = compute_candidates(self._graph, query, self._signatures)
+        encoded = encoded_view(self._graph)
+        candidates = compute_candidate_ids(encoded, query, self._signatures)
         if any(not candidates[vertex] for vertex in query.vertices):
             return
         if order is not None:
@@ -117,93 +146,134 @@ class LocalMatcher:
             chosen = self._planner.order_for(query)
         else:
             chosen = traversal_order(query)
-        yield from self._extend({}, chosen, 0, query, candidates)
+        compiled = self._compile(query, chosen, candidates, encoded)
+        assignment: List[Optional[int]] = [None] * query.num_vertices
+        term_of = encoded.dictionary.term_of
+        positions = range(len(compiled))
+        for _ in self._extend(assignment, compiled, 0, encoded):
+            # The inner generator is suspended with every slot assigned, so
+            # the complete match can be decoded straight off the assignment.
+            yield {
+                chosen[position]: term_of(assignment[compiled[position].index])
+                for position in positions
+            }
 
     def count_matches(self, query: QueryGraph) -> int:
         """Number of complete matches (used by benchmarks)."""
         return sum(1 for _ in self.find_matches(query))
 
     # ------------------------------------------------------------------
-    # Backtracking search
+    # Query compilation (terms → ints, once per find_matches call)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compile(
+        query: QueryGraph,
+        order: Sequence[PatternTerm],
+        candidates: Dict[PatternTerm, Set[int]],
+        encoded: EncodedGraph,
+    ) -> List[_CompiledVertex]:
+        compiled: List[_CompiledVertex] = []
+        for vertex in order:
+            vertex_index = query.vertex_index(vertex)
+            narrow_edges: List[Tuple[bool, int, int]] = []
+            check_edges: List[Tuple[bool, int, bool, int, int]] = []
+            for edge in query.edges_of(vertex):
+                code = predicate_code(encoded, edge.predicate)
+                subject_index = query.vertex_index(edge.subject)
+                object_index = query.vertex_index(edge.object)
+                check_edges.append(
+                    (
+                        edge.subject == vertex,
+                        subject_index,
+                        edge.object == vertex,
+                        object_index,
+                        code,
+                    )
+                )
+                other = edge.other_endpoint(vertex)
+                if other == vertex:
+                    continue  # self-loop: no already-assigned "other" side
+                if edge.subject == vertex:
+                    narrow_edges.append((True, code, object_index))
+                else:
+                    narrow_edges.append((False, code, subject_index))
+            compiled.append(
+                _CompiledVertex(vertex_index, candidates[vertex], narrow_edges, check_edges)
+            )
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Backtracking search (integer kernel)
     # ------------------------------------------------------------------
     def _extend(
         self,
-        assignment: Dict[PatternTerm, Node],
-        order: List[PatternTerm],
+        assignment: List[Optional[int]],
+        compiled: List[_CompiledVertex],
         depth: int,
-        query: QueryGraph,
-        candidates: Dict[PatternTerm, Set[Node]],
-    ) -> Iterator[Dict[PatternTerm, Node]]:
-        if depth == len(order):
-            yield dict(assignment)
+        encoded: EncodedGraph,
+    ) -> Iterator[None]:
+        if depth == len(compiled):
+            yield None  # the caller reads the complete assignment in place
             return
-        vertex = order[depth]
-        for candidate in self._ordered_candidates(vertex, assignment, query, candidates):
+        vertex = compiled[depth]
+        vertex_index = vertex.index
+        for candidate in self._ordered_candidates(vertex, assignment, encoded):
             self.search_steps += 1
-            if not self._consistent(vertex, candidate, assignment, query):
+            if not self._consistent(vertex, candidate, assignment, encoded):
                 continue
-            assignment[vertex] = candidate
-            yield from self._extend(assignment, order, depth + 1, query, candidates)
-            del assignment[vertex]
+            assignment[vertex_index] = candidate
+            yield from self._extend(assignment, compiled, depth + 1, encoded)
+            assignment[vertex_index] = None
 
+    @staticmethod
     def _ordered_candidates(
-        self,
-        vertex: PatternTerm,
-        assignment: Dict[PatternTerm, Node],
-        query: QueryGraph,
-        candidates: Dict[PatternTerm, Set[Node]],
-    ) -> Iterator[Node]:
+        vertex: _CompiledVertex,
+        assignment: List[Optional[int]],
+        encoded: EncodedGraph,
+    ) -> Sequence[int]:
         """Candidates for ``vertex``, narrowed by already-assigned neighbours.
 
         When an adjacent query vertex is already assigned, the data graph's
         adjacency restricts the viable candidates to the neighbours of that
         assignment, which is usually a much smaller set than the global
-        candidate list.
+        candidate list.  All probes are integer index lookups; id order is
+        the deterministic candidate order, so sorting is a plain int sort.
         """
-        pool = candidates[vertex]
-        narrowed: Optional[Set[Node]] = None
-        for edge in query.edges_of(vertex):
-            other = edge.other_endpoint(vertex) if vertex in edge.endpoints else None
-            if other is None or other not in assignment or other == vertex:
+        narrowed: Optional[Set[int]] = None
+        for is_subject, code, other_index in vertex.narrow_edges:
+            other_value = assignment[other_index]
+            if other_value is None:
                 continue
-            other_value = assignment[other]
-            predicate = None if isinstance(edge.predicate, Variable) else edge.predicate
-            if edge.subject == vertex:
-                reachable = {t.subject for t in self._graph.triples(None, predicate, other_value)}
+            if is_subject:
+                reachable = encoded.subjects_to(code, other_value)
             else:
-                reachable = {t.object for t in self._graph.triples(other_value, predicate, None)}
+                reachable = encoded.objects_from(other_value, code)
             narrowed = reachable if narrowed is None else narrowed & reachable
             if not narrowed:
-                return iter(())
+                return ()
         if narrowed is None:
-            return iter(sorted(pool, key=_candidate_sort_key))
-        return iter(sorted(narrowed & pool, key=_candidate_sort_key))
+            return vertex.sorted_pool
+        return sorted(narrowed & vertex.pool)
 
+    @staticmethod
     def _consistent(
-        self,
-        vertex: PatternTerm,
-        candidate: Node,
-        assignment: Dict[PatternTerm, Node],
-        query: QueryGraph,
+        vertex: _CompiledVertex,
+        candidate: int,
+        assignment: List[Optional[int]],
+        encoded: EncodedGraph,
     ) -> bool:
         """Check every query edge between ``vertex`` and already-assigned vertices."""
-        for edge in query.edges_of(vertex):
-            subject_value = candidate if edge.subject == vertex else assignment.get(edge.subject)
-            object_value = candidate if edge.object == vertex else assignment.get(edge.object)
-            if edge.subject == vertex and edge.object == vertex:
-                subject_value = object_value = candidate
+        has_edge = encoded.has_edge
+        for subject_is_self, subject_index, object_is_self, object_index, code in (
+            vertex.check_edges
+        ):
+            subject_value = candidate if subject_is_self else assignment[subject_index]
+            object_value = candidate if object_is_self else assignment[object_index]
             if subject_value is None or object_value is None:
                 continue
-            if not self._edge_exists(subject_value, edge, object_value):
+            if not has_edge(subject_value, code, object_value):
                 return False
         return True
-
-    def _edge_exists(self, subject_value: Node, edge: QueryEdge, object_value: Node) -> bool:
-        if isinstance(edge.predicate, Variable):
-            return any(True for _ in self._graph.triples(subject_value, None, object_value))
-        if not isinstance(edge.predicate, IRI):
-            return False
-        return any(True for _ in self._graph.triples(subject_value, edge.predicate, object_value))
 
     # ------------------------------------------------------------------
     # Helpers

@@ -9,6 +9,14 @@ values — into a bitset, and a query vertex's signature (built only from the
 constant information around it) must be a subset of any matching data
 vertex's signature.
 
+The index is built over the graph's dictionary-encoded view
+(:mod:`repro.store.encoding`): one pass over the integer triples, with the
+hash position of every ``(direction, predicate)`` and ``(direction,
+predicate, neighbour)`` key computed once and memoized — repeated shapes
+(e.g. thousands of ``rdf:type`` edges into the same class) hash once instead
+of once per edge.  Signatures are stored per term id, so the candidate
+kernel checks containment with one list lookup and one integer AND.
+
 The signature check is a *necessary* condition, never sufficient: the matcher
 always re-verifies real edges, so false positives cost time but never
 correctness.  False negatives cannot happen because exactly the same hash
@@ -18,11 +26,12 @@ positions are set on the query side and the data side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
 from ..sparql.query_graph import QueryGraph
+from .encoding import EncodedGraph, encoded_view
 
 #: Default signature width in bits.  Wide enough that collisions are rare on
 #: the bundled datasets, small enough to stay cheap to build and intersect.
@@ -64,9 +73,58 @@ class SignatureIndex:
     def __init__(self, graph: RDFGraph, width: int = DEFAULT_SIGNATURE_BITS) -> None:
         self._width = width
         self._graph = graph
-        self._signatures: dict[Node, VertexSignature] = {}
-        for vertex in graph.vertices:
-            self._signatures[vertex] = self._build_data_signature(vertex)
+        self._rebuild(encoded_view(graph))
+
+    def _rebuild(self, encoded: EncodedGraph) -> None:
+        """One pass over the encoded triples; bits are stored per term id."""
+        width = self._width
+        dictionary = encoded.dictionary
+        bits_by_id: List[int] = [0] * len(dictionary)
+        # Per-predicate direction masks and per-(direction, predicate,
+        # neighbour) positions, each hashed exactly once.
+        predicate_masks: Dict[int, Tuple[int, int, str]] = {}
+        pair_positions: Dict[Tuple[bool, int, int], int] = {}
+        for s, p, o in encoded.iter_triple_ids():
+            cached = predicate_masks.get(p)
+            if cached is None:
+                value = dictionary.term_of(p).value  # data predicates are IRIs
+                cached = (
+                    1 << _hash_position(f"out|{value}", width),
+                    1 << _hash_position(f"in|{value}", width),
+                    value,
+                )
+                predicate_masks[p] = cached
+            out_mask, in_mask, value = cached
+            out_pair = pair_positions.get((True, p, o))
+            if out_pair is None:
+                out_pair = 1 << _hash_position(
+                    f"out|{value}|{dictionary.n3_of(o)}", width
+                )
+                pair_positions[(True, p, o)] = out_pair
+            in_pair = pair_positions.get((False, p, s))
+            if in_pair is None:
+                in_pair = 1 << _hash_position(
+                    f"in|{value}|{dictionary.n3_of(s)}", width
+                )
+                pair_positions[(False, p, s)] = in_pair
+            bits_by_id[s] |= out_mask | out_pair
+            bits_by_id[o] |= in_mask | in_pair
+        self._bits_by_id = bits_by_id
+        self._encoded = encoded
+
+    def _current(self) -> EncodedGraph:
+        """The graph's current encoded view, resyncing the bits if stale.
+
+        The graph may have been mutated since this index was built; dense
+        ids shift on every rebuild of the encoding, so serving id-indexed
+        bits against a newer view would read another term's signature.
+        Rebuilding lazily here mirrors :func:`repro.store.encoded_view`'s
+        own version-keyed lifecycle.
+        """
+        encoded = encoded_view(self._graph)
+        if encoded is not self._encoded:
+            self._rebuild(encoded)
+        return encoded
 
     @property
     def width(self) -> int:
@@ -74,21 +132,23 @@ class SignatureIndex:
 
     def signature_of(self, vertex: Node) -> VertexSignature:
         """The signature of a data vertex (empty signature if unknown)."""
-        return self._signatures.get(vertex, VertexSignature(0, self._width))
+        vertex_id = self._current().dictionary.get(vertex)
+        if vertex_id is None:
+            return VertexSignature(0, self._width)
+        return VertexSignature(self._bits_by_id[vertex_id], self._width)
 
-    def _build_data_signature(self, vertex: Node) -> VertexSignature:
-        bits = 0
-        for triple in self._graph.out_edges(vertex):
-            bits |= 1 << _hash_position(f"out|{triple.predicate.value}", self._width)
-            bits |= 1 << _hash_position(
-                f"out|{triple.predicate.value}|{triple.object.n3()}", self._width
+    def bits_table(self, encoded: EncodedGraph) -> List[int]:
+        """The per-id signature bits, aligned with ``encoded``'s dictionary.
+
+        The kernel-side fast path: callers index the returned list with ids
+        from ``encoded`` directly.  Raises ``ValueError`` when ``encoded``
+        is not this index's graph's current view (id spaces would differ).
+        """
+        if encoded is not self._current():
+            raise ValueError(
+                "signature index belongs to a different graph than the encoded view"
             )
-        for triple in self._graph.in_edges(vertex):
-            bits |= 1 << _hash_position(f"in|{triple.predicate.value}", self._width)
-            bits |= 1 << _hash_position(
-                f"in|{triple.predicate.value}|{triple.subject.n3()}", self._width
-            )
-        return VertexSignature(bits, self._width)
+        return self._bits_by_id
 
     def query_signature(
         self,
@@ -128,11 +188,16 @@ class SignatureIndex:
 
     def candidates_by_signature(self, query: QueryGraph, vertex: PatternTerm) -> set[Node]:
         """All data vertices whose signature covers the query vertex's signature."""
-        needed = self.query_signature(query, vertex)
+        encoded = self._current()
+        needed = self.query_signature(query, vertex).bits
         if isinstance(vertex, (IRI, Literal)):
-            return {vertex} if vertex in self._signatures else set()
+            vertex_id = encoded.dictionary.get(vertex)
+            known = vertex_id is not None and encoded.is_vertex(vertex_id)
+            return {vertex} if known else set()
+        bits_by_id = self._bits_by_id
+        term_of = encoded.dictionary.term_of
         return {
-            data_vertex
-            for data_vertex, signature in self._signatures.items()
-            if signature.covers(needed)
+            term_of(vertex_id)
+            for vertex_id in encoded.vertex_ids
+            if (bits_by_id[vertex_id] & needed) == needed
         }

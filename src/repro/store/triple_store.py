@@ -21,6 +21,7 @@ from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import ResultSet
 from ..sparql.query_graph import QueryGraph
 from .candidates import compute_candidates
+from .encoding import EncodedGraph, encoded_view
 from .matcher import LocalMatcher
 from .signatures import DEFAULT_SIGNATURE_BITS, SignatureIndex
 
@@ -89,6 +90,16 @@ class TripleStore:
         if self._signatures is None:
             self._signatures = SignatureIndex(self._graph, self._signature_bits)
         return self._signatures
+
+    @property
+    def encoded(self) -> EncodedGraph:
+        """The dictionary-encoded view the matching kernel runs on.
+
+        Cached per graph *version* (see :func:`repro.store.encoded_view`),
+        so it survives ``_invalidate`` untouched and rebuilds itself lazily
+        only when the underlying graph has actually changed.
+        """
+        return encoded_view(self._graph)
 
     @property
     def statistics(self) -> GraphStatistics:

@@ -149,3 +149,55 @@ class TestWholeGraphHelpers:
     def test_stats(self):
         stats = build_graph().stats()
         assert stats == {"triples": 4, "vertices": 4, "predicates": 3}
+
+
+class TestCountUsesIndexes:
+    def test_count_matches_iteration_for_every_shape(self):
+        graph = build_graph()
+        shapes = [
+            (A, KNOWS, B),
+            (A, KNOWS, None),
+            (A, None, C),
+            (None, KNOWS, C),
+            (A, None, None),
+            (None, None, C),
+            (None, KNOWS, None),
+            (None, None, None),
+        ]
+        for subject, predicate, object in shapes:
+            expected = sum(1 for _ in graph.triples(subject, predicate, object))
+            assert graph.count(subject, predicate, object) == expected
+
+    def test_count_of_absent_combinations_is_zero(self):
+        graph = build_graph()
+        missing = EX.term("missing")
+        assert graph.count(missing, KNOWS, B) == 0
+        assert graph.count(missing, None, None) == 0
+        assert graph.count(None, missing, None) == 0
+        assert graph.count(None, None, missing) == 0
+        assert graph.count(A, KNOWS, C) == 0
+
+
+class TestIndexHygiene:
+    def test_vertices_does_not_grow_the_adjacency_indexes(self):
+        graph = build_graph()
+        # Make the adjacency maps one-sided: A has no incoming edges and the
+        # literal has no outgoing ones, so the old membership probes would
+        # insert empty sets for them on every .vertices call.
+        out_keys = set(graph._out.keys())
+        in_keys = set(graph._in.keys())
+        for _ in range(3):
+            graph.vertices
+        assert set(graph._out.keys()) == out_keys
+        assert set(graph._in.keys()) == in_keys
+
+    def test_version_moves_only_on_real_mutation(self):
+        graph = build_graph()
+        version = graph.version
+        graph.add(Triple(A, KNOWS, B))  # duplicate: no change
+        graph.discard(Triple(A, KNOWS, Literal("nope")))  # absent: no change
+        assert graph.version == version
+        graph.add(Triple(B, LIKES, A))
+        assert graph.version == version + 1
+        graph.discard(Triple(B, LIKES, A))
+        assert graph.version == version + 2

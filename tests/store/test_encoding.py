@@ -1,0 +1,160 @@
+"""Unit tests for the dictionary-encoding layer (repro.store.encoding)."""
+
+from repro.rdf import IRI, Literal, Namespace, RDFGraph, Triple
+from repro.store import EncodedGraph, TermDictionary, encoded_view
+from repro.store.encoding import PREDICATE_ABSENT, PREDICATE_ANY, term_sort_key
+
+EX = Namespace("http://example.org/")
+A, B, C = EX.term("a"), EX.term("b"), EX.term("c")
+KNOWS, LIKES, NAME = EX.term("knows"), EX.term("likes"), EX.term("name")
+
+
+def build_graph() -> RDFGraph:
+    graph = RDFGraph()
+    graph.add(Triple(A, KNOWS, B))
+    graph.add(Triple(B, KNOWS, C))
+    graph.add(Triple(A, LIKES, C))
+    graph.add(Triple(C, NAME, Literal("Carol")))
+    return graph
+
+
+class TestTermDictionary:
+    def test_ids_are_dense_and_bidirectional(self):
+        dictionary = TermDictionary([A, B, KNOWS, Literal("x")])
+        assert len(dictionary) == 4
+        for term in (A, B, KNOWS, Literal("x")):
+            assert dictionary.term_of(dictionary.id_of(term)) == term
+
+    def test_id_order_is_the_candidate_sort_order(self):
+        terms = [C, Literal("Carol"), A, KNOWS, B, NAME, LIKES]
+        dictionary = TermDictionary(terms)
+        by_id = [dictionary.term_of(i) for i in range(len(dictionary))]
+        assert by_id == sorted(set(terms), key=term_sort_key)
+
+    def test_any_id_subset_sorts_like_the_terms(self):
+        dictionary = TermDictionary([A, B, C, KNOWS, Literal("Carol")])
+        subset = {A, Literal("Carol"), C}
+        ids = sorted(dictionary.encode_nodes(subset))
+        assert [dictionary.term_of(i) for i in ids] == sorted(subset, key=term_sort_key)
+
+    def test_unknown_terms_are_none_or_dropped(self):
+        dictionary = TermDictionary([A, B])
+        assert dictionary.get(C) is None
+        assert C not in dictionary
+        assert dictionary.encode_nodes([A, C]) == {dictionary.id_of(A)}
+
+    def test_n3_is_precomputed(self):
+        dictionary = TermDictionary([A, Literal("Carol")])
+        for term_id in range(len(dictionary)):
+            assert dictionary.n3_of(term_id) == dictionary.term_of(term_id).n3()
+
+
+class TestEncodedGraph:
+    def test_indexes_agree_with_the_object_graph(self):
+        graph = build_graph()
+        encoded = EncodedGraph(graph)
+        id_of = encoded.dictionary.id_of
+        for triple in graph:
+            s, p, o = id_of(triple.subject), id_of(triple.predicate), id_of(triple.object)
+            assert encoded.has_edge(s, p, o)
+            assert s in encoded.subjects_to(p, o)
+            assert o in encoded.objects_from(s, p)
+            assert encoded.has_edge(s, PREDICATE_ANY, o)
+        assert encoded.num_triples == len(graph)
+
+    def test_vertex_ids_exclude_pure_predicates(self):
+        graph = build_graph()
+        encoded = EncodedGraph(graph)
+        decoded = encoded.dictionary.decode_ids(encoded.vertex_ids)
+        assert decoded == graph.vertices
+        assert not encoded.is_vertex(encoded.dictionary.id_of(KNOWS))
+
+    def test_absent_probes_are_empty(self):
+        encoded = EncodedGraph(build_graph())
+        id_of = encoded.dictionary.id_of
+        assert not encoded.has_edge(id_of(A), PREDICATE_ABSENT, id_of(B))
+        assert not encoded.has_edge(id_of(B), id_of(NAME), id_of(A))
+        assert encoded.subjects_to(PREDICATE_ABSENT, id_of(B)) == set()
+        assert encoded.objects_from(id_of(A), PREDICATE_ABSENT) == set()
+        assert encoded.subjects_of_predicate(PREDICATE_ABSENT) == set()
+        assert encoded.objects_of_predicate(PREDICATE_ABSENT) == set()
+
+    def test_predicate_wide_probes(self):
+        encoded = EncodedGraph(build_graph())
+        id_of = encoded.dictionary.id_of
+        decode = encoded.dictionary.decode_ids
+        assert decode(encoded.subjects_of_predicate(id_of(KNOWS))) == {A, B}
+        assert decode(encoded.objects_of_predicate(id_of(KNOWS))) == {B, C}
+        assert encoded.has_out_edge(id_of(A), id_of(KNOWS))
+        assert not encoded.has_out_edge(id_of(C), id_of(KNOWS))
+        assert encoded.has_in_edge(id_of(C), PREDICATE_ANY)
+        assert not encoded.has_in_edge(id_of(A), PREDICATE_ANY)
+
+    def test_iter_triple_ids_round_trips(self):
+        graph = build_graph()
+        encoded = EncodedGraph(graph)
+        term_of = encoded.dictionary.term_of
+        rebuilt = {Triple(term_of(s), term_of(p), term_of(o)) for s, p, o in encoded.iter_triple_ids()}
+        assert rebuilt == set(graph)
+
+    def test_sorted_vertex_ids_are_sorted_and_complete(self):
+        encoded = EncodedGraph(build_graph())
+        assert list(encoded.sorted_vertex_ids) == sorted(encoded.vertex_ids)
+
+
+class TestEncodedViewCache:
+    def test_view_is_cached_until_the_graph_changes(self):
+        graph = build_graph()
+        first = encoded_view(graph)
+        assert encoded_view(graph) is first
+        graph.add(Triple(B, LIKES, A))
+        second = encoded_view(graph)
+        assert second is not first
+        id_of = second.dictionary.id_of
+        assert second.has_edge(id_of(B), id_of(LIKES), id_of(A))
+
+    def test_noop_mutations_keep_the_cache(self):
+        graph = build_graph()
+        first = encoded_view(graph)
+        graph.add(Triple(A, KNOWS, B))  # already present
+        assert encoded_view(graph) is first
+
+    def test_copies_do_not_share_the_cache(self):
+        graph = build_graph()
+        first = encoded_view(graph)
+        copy = graph.copy()
+        assert encoded_view(copy) is not first
+
+
+class TestKernelSurvivesMutation:
+    def test_matcher_is_correct_after_graph_mutation(self):
+        # The matcher and its signature index were built before the
+        # mutation; dense ids shift when the encoding rebuilds, so the
+        # index must resync instead of serving another term's bits.
+        from repro.sparql import BasicGraphPattern, QueryGraph
+        from repro.rdf import TriplePattern, Variable
+        from repro.store import LocalMatcher
+
+        graph = build_graph()
+        matcher = LocalMatcher(graph)
+        query = QueryGraph(BasicGraphPattern([TriplePattern(Variable("x"), KNOWS, Variable("y"))]))
+        assert matcher.count_matches(query) == 2
+        zed = EX.term("zed")
+        graph.add(Triple(zed, KNOWS, A))
+        graph.add(Triple(EX.term("aaa"), NAME, Literal("Aaa")))  # shifts low ids
+        matches = list(matcher.find_matches(query))
+        assert {(m[Variable("x")], m[Variable("y")]) for m in matches} == {
+            (A, B),
+            (B, C),
+            (zed, A),
+        }
+
+    def test_bits_table_rejects_a_foreign_encoded_view(self):
+        import pytest
+        from repro.store import SignatureIndex
+
+        graph = build_graph()
+        other = RDFGraph([Triple(A, KNOWS, B)])
+        index = SignatureIndex(graph)
+        with pytest.raises(ValueError, match="different graph"):
+            index.bits_table(encoded_view(other))

@@ -27,11 +27,13 @@ the first point of the perf trajectory; see `docs/benchmarks.md`.
 import json
 import os
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from kernel_reference import ReferenceObjectMatcher
 from repro.bench import format_table, print_experiment
 from repro.datasets import lubm
+from repro.obs import CATEGORY_STAGE, Trace
 from repro.sparql.query_graph import QueryGraph
 from repro.store import LocalMatcher
 
@@ -56,8 +58,13 @@ def _best_ms(run, repeats=REPEATS):
     return best * 1000.0
 
 
-def kernel_comparison_rows(scale=SCALE):
-    """One row per LUBM query: object path vs encoded kernel, warm caches."""
+def kernel_comparison_rows(scale=SCALE, trace=None):
+    """One row per LUBM query: object path vs encoded kernel, warm caches.
+
+    With a ``trace`` attached, each query's A/B measurement becomes one
+    stage span carrying the measured times as attributes, so the JSON
+    artifact records a per-stage trace summary alongside the raw rows.
+    """
     graph = lubm.generate(scale=scale)
     queries = lubm.queries()
     encoded = LocalMatcher(graph)
@@ -72,8 +79,21 @@ def kernel_comparison_rows(scale=SCALE):
         # Bit-identical behaviour: same match sequence, same work counter.
         assert encoded_matches == reference_matches, f"{name}: kernels disagree on matches"
         assert encoded_steps == reference_steps, f"{name}: kernels disagree on search_steps"
-        object_ms = _best_ms(lambda: list(reference.find_matches(query_graph)))
-        encoded_ms = _best_ms(lambda: list(encoded.find_matches(query_graph)))
+        span_cm = (
+            trace.span(f"stage:match:{name}", CATEGORY_STAGE)
+            if trace is not None
+            else nullcontext()
+        )
+        with span_cm as span:
+            object_ms = _best_ms(lambda: list(reference.find_matches(query_graph)))
+            encoded_ms = _best_ms(lambda: list(encoded.find_matches(query_graph)))
+            if span is not None:
+                span.set(
+                    shape=query_graph.classify_shape(),
+                    search_steps=encoded_steps,
+                    object_ms=round(object_ms, 3),
+                    encoded_ms=round(encoded_ms, 3),
+                )
         rows.append(
             {
                 "query": name,
@@ -95,7 +115,11 @@ def _workload_speedup(rows):
 
 
 def test_kernel_ab_lubm(benchmark):
-    rows = benchmark.pedantic(kernel_comparison_rows, iterations=1, rounds=1)
+    trace = Trace("bench_kernel", scale=SCALE)
+    rows = benchmark.pedantic(
+        kernel_comparison_rows, kwargs={"trace": trace}, iterations=1, rounds=1
+    )
+    trace.finish()
     mode = "smoke" if SMOKE else "full"
     print_experiment(
         f"Kernel A/B — LUBM scale {SCALE} ({mode}): object path vs encoded kernel",
@@ -137,6 +161,9 @@ def test_kernel_ab_lubm(benchmark):
                 "encoded_ms": round(encoded_star, 3),
                 "speedup": round(speedup_star, 2),
             },
+            # Per-stage trace summary of this run: one span per query's A/B
+            # measurement, with the measured times as span attributes.
+            "trace_summary": trace.summary().splitlines(),
         }
         RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {RESULTS_PATH}")

@@ -23,10 +23,19 @@ single-item batches inline and only pay pool overhead on the multi-site
 fan-out itself.
 """
 
+import json
 import os
 import sys
+from pathlib import Path
 
-from repro.bench import format_table, parallel_comparison_rows, print_experiment
+from repro.bench import (
+    format_table,
+    parallel_comparison_rows,
+    prepare_workload,
+    print_experiment,
+)
+from repro.core import EngineConfig, GStoreDEngine
+from repro.obs import Trace
 
 WORKER_COUNTS = (1, 2, 4)
 PROCESS_WORKER_COUNTS = (2, 4)
@@ -40,6 +49,9 @@ PROCESS_SPEEDUP_FLOOR = 1.5
 #: Below this serial total (ms) a single noisy round could dominate the
 #: ratio, so the speedup stays a recorded observation instead of a gate.
 PROCESS_SPEEDUP_MIN_SERIAL_MS = 300.0
+#: Runs of the main A/B rewrite this artifact: the wall-clock rows plus one
+#: per-stage trace summary per query (see docs/observability.md).
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def _usable_cores() -> int:
@@ -59,6 +71,29 @@ def _host_can_overlap_python() -> bool:
 def _host_can_overlap_processes() -> bool:
     """True when worker processes have real cores to spread over."""
     return _usable_cores() >= PROCESS_SPEEDUP_CORES
+
+
+def traced_stage_summaries(query_names, num_sites):
+    """One cache-warm traced serial run per query: the per-stage trace
+    summaries embedded in the JSON artifact alongside the wall-clock rows,
+    recording where each query's time went (stage spans with shipment
+    attributes, one task span per site)."""
+    workload = prepare_workload("LUBM", num_sites=num_sites)
+    config = EngineConfig.full().with_options(executor="serial")
+    summaries = {}
+    for name in query_names:
+        workload.cluster.reset_network()
+        trace = Trace("query", query=name)
+        engine = GStoreDEngine(workload.cluster, config)
+        try:
+            engine.execute(workload.queries[name], query_name=name)  # warm the plan cache
+            workload.cluster.reset_network()
+            engine.execute(workload.queries[name], query_name=name, trace=trace)
+        finally:
+            engine.close()
+        trace.finish()
+        summaries[name] = trace.summary().splitlines()
+    return summaries
 
 
 def _process_speedup(rows) -> float:
@@ -104,6 +139,19 @@ def test_parallel_ab_lubm(benchmark, num_sites):
             sum(row[f"threads{n}_wall_ms"] for row in rows) for n in WORKER_COUNTS if n > 1
         )
         assert best_parallel < serial_total
+    payload = {
+        "benchmark": "bench_parallel",
+        "dataset": "LUBM",
+        "num_sites": num_sites,
+        "worker_counts": list(WORKER_COUNTS),
+        "process_worker_counts": list(PROCESS_WORKER_COUNTS),
+        "rows": rows,
+        "best_process_speedup": round(_process_speedup(rows), 2),
+        # Per-stage trace summaries: one traced serial run per query.
+        "stage_traces": traced_stage_summaries(LUBM_QUERIES, num_sites),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {RESULTS_PATH}")
 
 
 def test_process_speedup_multijoin(benchmark, num_sites):

@@ -16,9 +16,11 @@ The package provides, end to end:
 * simulated comparison systems (:mod:`repro.baselines`),
 * scaled-down LUBM/YAGO2/BTC-like workloads (:mod:`repro.datasets`),
 * the experiment harness regenerating every table and figure
-  (:mod:`repro.bench`), and
+  (:mod:`repro.bench`),
 * the unified session/engine/result facade tying them together
-  (:mod:`repro.api`).
+  (:mod:`repro.api`), and
+* per-query tracing, a metrics registry and profiling hooks
+  (:mod:`repro.obs`).
 
 Quickstart
 ----------
@@ -60,8 +62,9 @@ from .core import (
     LocalPartialMatch,
     OptimizationLevel,
 )
-from .distributed import Cluster, QueryStatistics, build_cluster
+from .distributed import Cluster, QueryStatistics, ShipmentSnapshot, build_cluster
 from .exec import ExecutorBackend, SerialBackend, ThreadPoolBackend, make_backend, run_per_site
+from .obs import MetricsRegistry, StageProfiler, Trace, Tracer
 from .partition import (
     HashPartitioner,
     MetisLikePartitioner,
@@ -119,6 +122,7 @@ __all__ = [
     "LocalMatcher",
     "LocalPartialMatch",
     "MetisLikePartitioner",
+    "MetricsRegistry",
     "Namespace",
     "NamespaceManager",
     "OptimizationLevel",
@@ -134,7 +138,11 @@ __all__ = [
     "SemanticHashPartitioner",
     "SerialBackend",
     "Session",
+    "ShipmentSnapshot",
+    "StageProfiler",
     "ThreadPoolBackend",
+    "Trace",
+    "Tracer",
     "Triple",
     "TripleStore",
     "Variable",

@@ -46,6 +46,7 @@ from ..core.engine import GStoreDEngine
 from ..distributed.cluster import Cluster
 from ..distributed.stats import QueryStatistics
 from ..exec import ExecutorBackend
+from ..obs import record_statistics_spans, stage_scope
 from ..sparql.algebra import SelectQuery
 from ..store.matcher import LocalMatcher
 from .result import Result
@@ -75,17 +76,48 @@ class EngineAdapter:
 
     The adapter owns its inner engine: closing the adapter closes the inner
     engine (and with it any executor backend the inner engine owns).
+
+    The adapter is also the tracing shim for legacy engines: inner engines
+    that declare ``supports_tracing`` (the gStoreD family) receive the
+    ``trace``/``profiler`` hooks natively; engines exposing
+    ``execute_traced`` (the fixed-strategy baselines) go through that; for
+    anything else the adapter runs the query untraced and synthesizes stage
+    spans from the returned statistics, so every registry engine produces
+    *some* trace when asked for one.
     """
+
+    #: The adapter accepts ``trace``/``profiler`` kwargs for any inner engine.
+    supports_tracing = True
 
     def __init__(self, inner) -> None:
         self.inner = inner
         self.name = inner.name
 
-    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> Result:
+    def execute(
+        self,
+        query: SelectQuery,
+        query_name: str = "",
+        dataset: str = "",
+        *,
+        trace=None,
+        profiler=None,
+    ) -> Result:
         """Run the wrapped engine and lift its result into a :class:`Result`."""
-        return Result.from_distributed(
-            self.inner.execute(query, query_name=query_name, dataset=dataset)
-        )
+        if (trace is not None or profiler is not None) and getattr(
+            self.inner, "supports_tracing", False
+        ):
+            distributed = self.inner.execute(
+                query, query_name=query_name, dataset=dataset, trace=trace, profiler=profiler
+            )
+        elif trace is not None and hasattr(self.inner, "execute_traced"):
+            distributed = self.inner.execute_traced(
+                query, query_name=query_name, dataset=dataset, trace=trace, profiler=profiler
+            )
+        else:
+            distributed = self.inner.execute(query, query_name=query_name, dataset=dataset)
+            if trace is not None:
+                record_statistics_spans(trace, distributed.statistics)
+        return Result.from_distributed(distributed)
 
     def close(self) -> None:
         """Close the wrapped engine (a no-op for engines without resources)."""
@@ -116,6 +148,9 @@ class CentralizedEngine:
 
     name = "Centralized"
 
+    #: Accepts ``trace``/``profiler`` on :meth:`execute` (single-stage spans).
+    supports_tracing = True
+
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self._matcher: Optional[LocalMatcher] = None
@@ -125,7 +160,15 @@ class CentralizedEngine:
             self._matcher = LocalMatcher(self.cluster.graph)
         return self._matcher
 
-    def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> Result:
+    def execute(
+        self,
+        query: SelectQuery,
+        query_name: str = "",
+        dataset: str = "",
+        *,
+        trace=None,
+        profiler=None,
+    ) -> Result:
         """Evaluate ``query`` over the full graph on one simulated machine."""
         stats = QueryStatistics(
             query_name=query_name,
@@ -135,14 +178,18 @@ class CentralizedEngine:
         )
         stage = stats.stage(STAGE_CENTRALIZED)
         matcher = self._ensure_matcher()
-        started = time.perf_counter()
-        results = matcher.evaluate(query)
-        # The distributed engines all project with distinct=True (duplicate
-        # solutions collapse when projection drops variables); normalize the
-        # centralized answer to the same convention so every evaluator is
-        # row-for-row comparable.
-        results = results.project(query.effective_projection, distinct=True)
-        stage.coordinator_time_s += time.perf_counter() - started
+        with stage_scope(trace, profiler, STAGE_CENTRALIZED) as span:
+            started = time.perf_counter()
+            results = matcher.evaluate(query)
+            # The distributed engines all project with distinct=True (duplicate
+            # solutions collapse when projection drops variables); normalize the
+            # centralized answer to the same convention so every evaluator is
+            # row-for-row comparable.
+            results = results.project(query.effective_projection, distinct=True)
+            stage.coordinator_time_s += time.perf_counter() - started
+            if span is not None:
+                span.set(search_steps=matcher.search_steps, shipped_bytes=0, messages=0)
+        stats.work["search_steps"] = matcher.search_steps
         stats.num_results = len(results)
         return Result(results, stats)
 

@@ -46,6 +46,14 @@ class Result:
         self._rows: Optional[List[Tuple[str, ...]]] = None
         self._sorted_rows: Optional[List[Tuple[str, ...]]] = None
         self._dicts: Optional[List[Dict[str, str]]] = None
+        #: The :class:`~repro.obs.Trace` of the producing run, when the
+        #: session was opened with ``trace=True`` (``None`` otherwise).
+        self.trace = None
+        #: The :class:`~repro.distributed.ShipmentSnapshot` taken from the
+        #: message bus right after the run, when produced through a
+        #: :class:`~repro.api.Session` (``None`` otherwise).  Unlike the live
+        #: bus, this survives the next query's ``reset_network()``.
+        self.shipment = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -73,6 +81,18 @@ class Result:
     @property
     def statistics(self) -> QueryStatistics:
         """Per-stage timing, shipment and counters of the producing engine."""
+        return self._statistics
+
+    def detach_statistics(self) -> QueryStatistics:
+        """Replace :attr:`statistics` with an independent deep copy.
+
+        Engines may hand the result a statistics object that shares stage
+        records with engine- or cluster-held state; after detaching, nothing
+        a later query does (``Cluster.reset_network()``, engine reuse) can
+        mutate this result's numbers.  The session layer calls this on every
+        result it returns; returns the detached copy.
+        """
+        self._statistics = self._statistics.snapshot()
         return self._statistics
 
     def __iter__(self) -> Iterator[Binding]:

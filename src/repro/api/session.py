@@ -32,9 +32,19 @@ from ..datasets.registry import DATASETS, get_dataset
 from ..distributed.cluster import Cluster, build_cluster
 from ..distributed.network import NetworkModel
 from ..exec import ExecutorBackend, make_backend
+from ..obs import (
+    CATEGORY_PLANNING,
+    MetricsRegistry,
+    StageProfiler,
+    Trace,
+    Tracer,
+    record_query,
+    record_statistics_spans,
+)
 from ..partition.fragment import PartitionedGraph
 from ..partition.partitioners import make_partitioner
 from ..planner.optimizer import QueryPlanner
+from ..store.encoding import encoded_rebuilds
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import SelectQuery
 from ..sparql.parser import parse_query
@@ -91,11 +101,24 @@ class Session:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         config: Optional[EngineConfig] = None,
+        trace: bool = False,
+        profile: Optional[bool] = None,
         **config_options,
     ) -> None:
         self.cluster = cluster
         self.dataset = dataset
         self.scale = scale
+        #: Per-query tracer (see :mod:`repro.obs`), or ``None`` when the
+        #: session was opened without ``trace=True``.  Each ``query()`` call
+        #: starts one trace; the returned result carries it as ``.trace``.
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        #: Session-wide metrics registry, always on (recording a finished
+        #: query's statistics costs microseconds; the engines themselves
+        #: never touch it).
+        self.metrics = MetricsRegistry()
+        #: Per-stage cProfile capture — enabled by ``profile=True`` or the
+        #: ``REPRO_PROFILE`` environment variable; ``None`` when off.
+        self.profiler: Optional[StageProfiler] = StageProfiler.from_env(profile)
         #: Named benchmark queries of the workload; ``query()`` accepts these
         #: names directly.
         self.queries: Dict[str, SelectQuery] = dict(queries or {})
@@ -213,15 +236,61 @@ class Session:
         ``query`` may be a parsed :class:`SelectQuery`, the name of one of
         the workload's benchmark queries (``session.queries``), or raw SPARQL
         text.  The cluster's network accounting is reset first, so each
-        result's statistics describe exactly one execution.
+        result's statistics describe exactly one execution — and the result
+        keeps its own detached copies of the statistics and the shipment
+        breakdown, so a later ``query()`` cannot zero them retroactively.
+
+        When the session traces (``repro.open(..., trace=True)``) the
+        returned result additionally carries ``result.trace``; the session's
+        :attr:`metrics` registry is updated after every query either way.
         """
         self._ensure_open()
-        parsed, resolved_name = self._resolve_query(query)
         chosen = self.engine(engine)
+        trace: Optional[Trace] = None
+        if self.tracer is not None:
+            trace = self.tracer.start_trace(
+                "query",
+                engine=getattr(chosen, "name", str(engine or self.default_engine)),
+                dataset=self.dataset,
+            )
+            with trace.span("parse", CATEGORY_PLANNING) as span:
+                parsed, resolved_name = self._resolve_query(query)
+                span.set(query_name=query_name or resolved_name or "(inline)")
+        else:
+            parsed, resolved_name = self._resolve_query(query)
         self.cluster.reset_network()
-        return chosen.execute(
-            parsed, query_name=query_name or resolved_name, dataset=self.dataset
+        obs_kwargs = {}
+        if getattr(chosen, "supports_tracing", False):
+            if trace is not None:
+                obs_kwargs["trace"] = trace
+            if self.profiler is not None:
+                obs_kwargs["profiler"] = self.profiler
+        result = chosen.execute(
+            parsed,
+            query_name=query_name or resolved_name,
+            dataset=self.dataset,
+            **obs_kwargs,
         )
+        if trace is not None and not obs_kwargs:
+            # Engines outside the tracing contract still yield a trace:
+            # replay their statistics into synthesized spans.
+            record_statistics_spans(trace, result.statistics)
+        shipment = self.cluster.bus.snapshot()
+        result.detach_statistics()
+        result.shipment = shipment
+        if trace is not None:
+            trace.finish(rows=len(result))
+            result.trace = trace
+        record_query(
+            self.metrics,
+            result.statistics,
+            shipment=shipment,
+            engine=getattr(chosen, "name", ""),
+            backend=self.backend.name,
+            pool_size=getattr(self.backend, "max_workers", 1) or 1,
+            encoded_rebuilds=encoded_rebuilds(),
+        )
+        return result
 
     def explain(self, query: Union[str, SelectQuery]) -> str:
         """The cost-based plan for ``query`` (per connected component), as text."""
@@ -285,6 +354,8 @@ def open_session(
     workers: Optional[int] = None,
     config: Optional[EngineConfig] = None,
     network: Optional[NetworkModel] = None,
+    trace: bool = False,
+    profile: Optional[bool] = None,
     **config_options,
 ) -> Session:
     """Open a :class:`Session` over one of the bundled workloads.
@@ -293,7 +364,9 @@ def open_session(
     ``"paper"`` for the running example of Figs. 1-3 (whose
     ``partitioner="paper"`` reproduces the exact Fig. 1 fragment
     assignment).  ``engine`` is any :func:`~repro.api.make_engine` registry
-    name; ``executor``/``workers`` select the per-site fan-out backend; any
+    name; ``executor``/``workers`` select the per-site fan-out backend;
+    ``trace=True`` turns on per-query tracing (results gain ``.trace``) and
+    ``profile=True`` per-stage profiling (see :mod:`repro.obs`); any
     extra keyword becomes an :class:`EngineConfig` option
     (``use_lec_pruning=False``, ...).  This function is re-exported as
     ``repro.open``.
@@ -305,6 +378,8 @@ def open_session(
         executor=executor,
         workers=workers,
         config=config,
+        trace=trace,
+        profile=profile,
         **config_options,
     )
     if name.lower() in PAPER_EXAMPLE_NAMES:

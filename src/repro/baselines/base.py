@@ -45,6 +45,32 @@ class DistributedEngine(ABC):
     def execute(self, query: SelectQuery, query_name: str = "", dataset: str = "") -> DistributedResult:
         """Evaluate ``query`` and return its solutions plus statistics."""
 
+    def execute_traced(
+        self,
+        query: SelectQuery,
+        query_name: str = "",
+        dataset: str = "",
+        *,
+        trace=None,
+        profiler=None,
+    ) -> DistributedResult:
+        """Run :meth:`execute` and synthesize trace spans from its statistics.
+
+        The baselines model fixed strategies without per-stage coordinator
+        hooks, so they cannot measure spans inline the way the gStoreD
+        pipeline does; instead the finished :class:`QueryStatistics` (which
+        every baseline does produce, per stage and per site) is replayed into
+        the trace as ``synthesized=True`` spans.  ``profiler`` is accepted
+        for interface symmetry and ignored.
+        """
+        del profiler
+        result = self.execute(query, query_name=query_name, dataset=dataset)
+        if trace is not None:
+            from ..obs import record_statistics_spans
+
+            record_statistics_spans(trace, result.statistics)
+        return result
+
     def close(self) -> None:
         """Release engine resources (baselines hold none; kept for the
         uniform :class:`~repro.api.QueryEngine` lifecycle)."""

@@ -9,7 +9,9 @@ The CLI covers the workflow a downstream user actually runs:
 * ``repro query``     — execute a SPARQL BGP query (inline or from a file)
   over a partitioned workspace or an ad-hoc partitioning, with any
   gStoreD configuration or any :mod:`repro.api` registry engine
-  (``--engine gstored|dream|decomp|cloud|s2x|centralized``);
+  (``--engine gstored|dream|decomp|cloud|s2x|centralized``); ``--trace PATH``
+  writes a Chrome trace-event JSON of the staged pipeline and ``--metrics``
+  prints a Prometheus exposition of the run (:mod:`repro.obs`);
 * ``repro explain``   — show the cost-based plan (statistics summary, chosen
   vertex order, per-step estimates) for a query without executing it;
 * ``repro experiment`` — regenerate one of the paper's tables/figures.
@@ -23,6 +25,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -40,6 +44,7 @@ from .core import EngineConfig, OptimizationLevel
 from .datasets import get_dataset
 from .distributed import build_cluster
 from .exec import EXECUTOR_CHOICES, make_backend
+from .obs import CATEGORY_PLANNING, MetricsRegistry, Trace, record_query
 from .partition import (
     load_workspace,
     make_partitioner,
@@ -127,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(EXECUTOR_CHOICES)} (threads is implied by --workers alone; "
         "processes sidesteps the GIL for real multi-core speedup)",
     )
+    query.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the staged pipeline to PATH "
+        "(gStoreD engine family only; open it in Perfetto or chrome://tracing)",
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics in Prometheus text exposition format after the results",
+    )
 
     explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
     explain_source = explain.add_mutually_exclusive_group(required=True)
@@ -148,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend for the statistics fan-out, one of: "
         f"{', '.join(EXECUTOR_CHOICES)} (threads is implied by --workers alone)",
+    )
+    explain.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the statistics collection "
+        "and planning phases to PATH",
+    )
+    explain.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print planning-phase timings in Prometheus text exposition format",
     )
 
     experiment = subparsers.add_parser("experiment", help="regenerate one of the paper's experiments")
@@ -241,10 +270,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ValueError(
             f"unknown engine {args.engine!r}; choose from: {', '.join(engine_choices())}"
         )
+    is_gstored = engine_name in _LEVELS or engine_aliases().get(engine_name) == "gstored"
+    if args.trace and not is_gstored:
+        raise ValueError(
+            "--trace follows the staged gStoreD pipeline and only applies to the "
+            f"gStoreD engine family ({', '.join(_LEVELS)}); engine {engine_name!r} "
+            "bypasses it (drop --trace, or keep --metrics which works with every engine)"
+        )
     cluster = _load_cluster(args)
     query = parse_query(_read_query_text(args))
 
-    if engine_name in _LEVELS or engine_aliases().get(engine_name) == "gstored":
+    if is_gstored:
         config = EngineConfig.for_level(_LEVELS.get(engine_name, OptimizationLevel.FULL))
         if executor is not None:
             config = config.with_executor(executor, workers)
@@ -262,8 +298,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"engine {engine_name!r} runs its fixed strategy without a fan-out pool"
             )
         engine = make_engine(engine_name, cluster)
+    trace = Trace("query", engine=engine_name) if args.trace else None
     with engine:
-        result = engine.execute(query, query_name="cli")
+        if trace is not None:
+            result = engine.execute(query, query_name="cli", trace=trace)
+        else:
+            result = engine.execute(query, query_name="cli")
 
     executor = result.statistics.extra.get("executor")
     runtime = ""
@@ -278,7 +318,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"total: {result.statistics.total_time_ms:.2f} ms, "
             f"{result.statistics.total_shipment_kb:.2f} KB shipped"
         )
+    if trace is not None:
+        trace.finish(rows=len(result.results))
+        trace.save(args.trace)
+        print(f"trace: wrote {len(trace.spans)} spans to {args.trace}")
+    if args.metrics:
+        registry = MetricsRegistry()
+        record_query(
+            registry,
+            result.statistics,
+            shipment=cluster.bus.snapshot(),
+            engine=result.statistics.engine,
+            backend=executor or "serial",
+            pool_size=result.statistics.extra.get("max_workers") or workers or 1,
+            encoded_rebuilds=_encoded_rebuilds(),
+        )
+        print(registry.prometheus_text(), end="")
     return 0
+
+
+def _encoded_rebuilds() -> int:
+    """The process-wide :class:`EncodedGraph` rebuild count (lazy import so
+    the store layer is only touched when ``--metrics`` asks for it)."""
+    from .store.encoding import encoded_rebuilds
+
+    return encoded_rebuilds()
 
 
 def _read_query_text(args: argparse.Namespace) -> str:
@@ -290,26 +354,58 @@ def _read_query_text(args: argparse.Namespace) -> str:
 def _cmd_explain(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
     executor = _requested_executor(args, workers)
+    trace = Trace("explain") if args.trace else None
     backend = make_backend(executor, workers) if executor is not None else None
     try:
         cluster = _load_cluster(args)
         query = parse_query(_read_query_text(args))
 
-        statistics = cluster.graph_statistics(backend)
+        stats_started = time.perf_counter()
+        stats_cm = (
+            trace.span("collect_statistics", CATEGORY_PLANNING)
+            if trace is not None
+            else nullcontext()
+        )
+        with stats_cm:
+            statistics = cluster.graph_statistics(backend)
+        stats_seconds = time.perf_counter() - stats_started
         planner = cluster.coordinator_planner(backend=backend)
     finally:
         if backend is not None:
             backend.close()
     print(f"statistics: {statistics.summary()} (aggregated over {cluster.num_sites} sites)")
     components = query.bgp.connected_components()
+    plan_started = time.perf_counter()
     for position, component in enumerate(components):
         query_graph = QueryGraph(component)
         if len(components) > 1:
             print(f"-- component {position + 1}/{len(components)} --")
         print(f"query shape: {query_graph.classify_shape()}")
-        print(planner.explain(query_graph))
+        plan_cm = (
+            trace.span("plan", CATEGORY_PLANNING, component=position)
+            if trace is not None
+            else nullcontext()
+        )
+        with plan_cm:
+            explained = planner.explain(query_graph)
+        print(explained)
         static = " -> ".join(term.n3() for term in traversal_order(query_graph))
         print(f"static (seed) order: {static}")
+    plan_seconds = time.perf_counter() - plan_started
+    if trace is not None:
+        trace.finish(components=len(components))
+        trace.save(args.trace)
+        print(f"trace: wrote {len(trace.spans)} spans to {args.trace}")
+    if args.metrics:
+        registry = MetricsRegistry()
+        help_text = "Wall-clock seconds spent in each planning-side phase."
+        registry.histogram("repro_stage_seconds", help_text, stage="statistics").observe(
+            stats_seconds
+        )
+        registry.histogram("repro_stage_seconds", help_text, stage="planning").observe(
+            plan_seconds
+        )
+        print(registry.prometheus_text(), end="")
     return 0
 
 

@@ -40,13 +40,15 @@ copy of every site from serialized fragments; see :mod:`repro.exec.worker`.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..distributed.cluster import Cluster
 from ..distributed.network import COORDINATOR, StageTimer
 from ..distributed.stats import QueryStatistics
 from ..exec import ExecutorBackend, SiteTask, SiteTaskResult, make_backend
+from ..obs import CATEGORY_PLANNING, StageProfiler, Trace, stage_scope
 from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
@@ -89,6 +91,11 @@ class DistributedResult:
 
 class GStoreDEngine:
     """Partial-evaluation-and-assembly SPARQL engine over a simulated cluster."""
+
+    #: This engine natively accepts ``trace``/``profiler`` keyword arguments
+    #: on :meth:`execute` (the session layer checks this attribute instead of
+    #: guessing from signatures; see :mod:`repro.obs`).
+    supports_tracing = True
 
     def __init__(
         self,
@@ -141,7 +148,11 @@ class GStoreDEngine:
         }
 
     def _run_site_tasks(
-        self, tasks: Sequence[SiteTask], timer: StageTimer, stage_name: str
+        self,
+        tasks: Sequence[SiteTask],
+        timer: StageTimer,
+        stage_name: str,
+        trace: Optional[Trace] = None,
     ) -> List[SiteTaskResult]:
         """Fan the task batch out and record each site's measured time.
 
@@ -149,11 +160,18 @@ class GStoreDEngine:
         ascending ``site_id`` order), so the callers' merges stay
         deterministic; the handler-measured wall-clock of each task is folded
         into the shared timer here, in the serial merge, never by the tasks
-        themselves.
+        themselves.  When tracing, the current (stage) span's context is
+        stamped onto every task before the fan-out, and the worker-measured
+        task spans are folded back into the trace — also here, serially.
         """
+        if trace is not None:
+            context = trace.current_context()
+            tasks = [replace(task, trace=context) for task in tasks]
         results = self.backend.map_site_tasks(tasks, self.cluster, self._site_options())
         for result in results:
             timer.record(stage_name, result.site_id, result.elapsed_s)
+            if trace is not None and result.span is not None:
+                trace.add_task_span(result.span)
         return results
 
     def close(self) -> None:
@@ -175,8 +193,19 @@ class GStoreDEngine:
         query: SelectQuery,
         query_name: str = "",
         dataset: str = "",
+        *,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> DistributedResult:
-        """Run ``query`` through the full distributed pipeline."""
+        """Run ``query`` through the full distributed pipeline.
+
+        ``trace``/``profiler`` are optional observability hooks (see
+        :mod:`repro.obs`): when set, every stage opens a span (with per-site
+        task spans reassembled from the backend fan-out) and/or a per-stage
+        ``cProfile`` capture.  Both default to off and change nothing about
+        evaluation — answers, ``search_steps`` and shipment accounting are
+        bit-identical with or without them.
+        """
         stats = QueryStatistics(
             query_name=query_name,
             engine=self.name,
@@ -203,10 +232,12 @@ class GStoreDEngine:
             stats.stage(STAGE_PLANNING)
 
         if self.config.star_shortcut and query_graph.is_star():
-            bindings = self._evaluate_star(query, timer, stats)
+            bindings = self._evaluate_star(query, timer, stats, trace, profiler)
         else:
-            plan = self._plan_query(query_graph, timer, stats)
-            bindings = self._evaluate_general(query, query_graph, plan, timer, stats)
+            plan = self._plan_query(query_graph, timer, stats, trace, profiler)
+            bindings = self._evaluate_general(
+                query, query_graph, plan, timer, stats, trace, profiler
+            )
 
         results = ResultSet(bindings, query.variables)
         projected = results.project(query.effective_projection, distinct=True)
@@ -224,6 +255,8 @@ class GStoreDEngine:
         query_graph: QueryGraph,
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> Optional[QueryPlan]:
         """Plan the query on the coordinator and record the planning stage.
 
@@ -237,10 +270,25 @@ class GStoreDEngine:
         stage = stats.stage(STAGE_PLANNING)
         planner = self.cluster.coordinator_planner(self.config.plan_cache_size)
         hits_before = planner.cache.hits
-        with timer.measure(STAGE_PLANNING, COORDINATOR):
-            plan = planner.plan_for(query_graph)
+        span_cm = (
+            trace.span("plan", CATEGORY_PLANNING) if trace is not None else nullcontext()
+        )
+        profile_cm = (
+            profiler.capture(STAGE_PLANNING) if profiler is not None else nullcontext()
+        )
+        with profile_cm, span_cm as span:
+            with timer.measure(STAGE_PLANNING, COORDINATOR):
+                plan = planner.plan_for(query_graph)
+            cache_hit = planner.cache.hits > hits_before
+            if span is not None:
+                trace.event("plan_cache", CATEGORY_PLANNING, hit=cache_hit)
+                span.set(
+                    source=plan.source,
+                    estimated_cost=round(plan.estimated_cost, 1),
+                    cache_hit=cache_hit,
+                )
         stage.coordinator_time_s += timer.elapsed(STAGE_PLANNING, COORDINATOR)
-        stage.add_counter("plan_cache_hit", 1 if planner.cache.hits > hits_before else 0)
+        stage.add_counter("plan_cache_hit", 1 if cache_hit else 0)
         stage.add_counter("planned_vertices", len(plan))
         stats.extra["plan_source"] = plan.source
         stats.extra["plan_estimated_cost"] = round(plan.estimated_cost, 1)
@@ -255,19 +303,31 @@ class GStoreDEngine:
         query: SelectQuery,
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
         """Evaluate a star query purely locally at every site."""
         stage = stats.stage(STAGE_PARTIAL_EVAL)
         tasks = local_eval_tasks(self._site_ids(), query)
         all_bindings: List[Binding] = []
-        for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL):
-            local = result.value
-            shipped = self.cluster.bus.send(
-                result.site_id, COORDINATOR, "local_matches", local, STAGE_PARTIAL_EVAL
-            )
-            stage.shipped_bytes += shipped
-            stage.messages += 1
-            all_bindings.extend(local)
+        with stage_scope(trace, profiler, STAGE_PARTIAL_EVAL, star_shortcut=True) as span:
+            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace):
+                outcome = result.value
+                shipped = self.cluster.bus.send(
+                    result.site_id,
+                    COORDINATOR,
+                    "local_matches",
+                    outcome.matches,
+                    STAGE_PARTIAL_EVAL,
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+                all_bindings.extend(outcome.matches)
+                stats.work["search_steps"] = (
+                    stats.work.get("search_steps", 0) + outcome.search_steps
+                )
+            if span is not None:
+                span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_PARTIAL_EVAL))
         self._charge_network(stage)
         stage.add_counter("local_matches", len(all_bindings))
@@ -289,13 +349,21 @@ class GStoreDEngine:
         plan: Optional[QueryPlan],
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
-        candidate_filter = self._candidate_exchange(query_graph, timer, stats)
-        local_bindings, lpms_by_site = self._partial_evaluation(
-            query, query_graph, plan, candidate_filter, timer, stats
+        candidate_filter = self._candidate_exchange(
+            query_graph, timer, stats, trace, profiler
         )
-        surviving_by_site = self._lec_pruning(query_graph, lpms_by_site, timer, stats)
-        crossing_bindings = self._assembly(query_graph, surviving_by_site, timer, stats)
+        local_bindings, lpms_by_site = self._partial_evaluation(
+            query, query_graph, plan, candidate_filter, timer, stats, trace, profiler
+        )
+        surviving_by_site = self._lec_pruning(
+            query_graph, lpms_by_site, timer, stats, trace, profiler
+        )
+        crossing_bindings = self._assembly(
+            query_graph, surviving_by_site, timer, stats, trace, profiler
+        )
         return local_bindings + crossing_bindings
 
     # -- Stage 1: Algorithm 4 -------------------------------------------------
@@ -304,6 +372,8 @@ class GStoreDEngine:
         query_graph: QueryGraph,
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> Optional[GlobalCandidateFilter]:
         stage = stats.stage(STAGE_CANDIDATES)
         if not self.config.use_candidate_exchange:
@@ -311,22 +381,25 @@ class GStoreDEngine:
         tasks = candidate_vector_tasks(self._site_ids(), query_graph, self.config.bit_vector_bits)
         per_site_vectors = []
         internal_candidate_total = 0
-        for result in self._run_site_tasks(tasks, timer, STAGE_CANDIDATES):
-            internal_candidate_total += result.value.internal_candidates
-            vectors = result.value.vectors
-            per_site_vectors.append(vectors)
-            shipped = self.cluster.bus.send(
-                result.site_id, COORDINATOR, "candidate_vectors", list(vectors.values()), STAGE_CANDIDATES
+        with stage_scope(trace, profiler, STAGE_CANDIDATES) as span:
+            for result in self._run_site_tasks(tasks, timer, STAGE_CANDIDATES, trace):
+                internal_candidate_total += result.value.internal_candidates
+                vectors = result.value.vectors
+                per_site_vectors.append(vectors)
+                shipped = self.cluster.bus.send(
+                    result.site_id, COORDINATOR, "candidate_vectors", list(vectors.values()), STAGE_CANDIDATES
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+            with timer.measure(STAGE_CANDIDATES, COORDINATOR):
+                global_filter = union_site_vectors(per_site_vectors, self.config.bit_vector_bits)
+            shipped = self.cluster.bus.broadcast(
+                COORDINATOR, self.cluster.site_ids, "global_candidate_filter", global_filter, STAGE_CANDIDATES
             )
             stage.shipped_bytes += shipped
-            stage.messages += 1
-        with timer.measure(STAGE_CANDIDATES, COORDINATOR):
-            global_filter = union_site_vectors(per_site_vectors, self.config.bit_vector_bits)
-        shipped = self.cluster.bus.broadcast(
-            COORDINATOR, self.cluster.site_ids, "global_candidate_filter", global_filter, STAGE_CANDIDATES
-        )
-        stage.shipped_bytes += shipped
-        stage.messages += self.cluster.num_sites
+            stage.messages += self.cluster.num_sites
+            if span is not None:
+                span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_CANDIDATES))
         stage.coordinator_time_s += timer.elapsed(STAGE_CANDIDATES, COORDINATOR)
         self._charge_network(stage)
@@ -343,6 +416,8 @@ class GStoreDEngine:
         candidate_filter: Optional[GlobalCandidateFilter],
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> Tuple[List[Binding], Dict[int, List[LocalPartialMatch]]]:
         stage = stats.stage(STAGE_PARTIAL_EVAL)
         edge_order = plan.edge_order if plan is not None else None
@@ -357,16 +432,22 @@ class GStoreDEngine:
         local_bindings: List[Binding] = []
         lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
         filtered_branches = 0
-        for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL):
-            outcome = result.value
-            local_bindings.extend(outcome.local_matches)
-            lpms_by_site[result.site_id] = outcome.local_partial_matches
-            filtered_branches += outcome.branches_pruned_by_filter
-            shipped = self.cluster.bus.send(
-                result.site_id, COORDINATOR, "local_matches", outcome.local_matches, STAGE_PARTIAL_EVAL
-            )
-            stage.shipped_bytes += shipped
-            stage.messages += 1
+        with stage_scope(trace, profiler, STAGE_PARTIAL_EVAL) as span:
+            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace):
+                outcome = result.value
+                local_bindings.extend(outcome.local_matches)
+                lpms_by_site[result.site_id] = outcome.local_partial_matches
+                filtered_branches += outcome.branches_pruned_by_filter
+                stats.work["search_steps"] = (
+                    stats.work.get("search_steps", 0) + outcome.search_steps
+                )
+                shipped = self.cluster.bus.send(
+                    result.site_id, COORDINATOR, "local_matches", outcome.local_matches, STAGE_PARTIAL_EVAL
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+            if span is not None:
+                span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_PARTIAL_EVAL))
         self._charge_network(stage)
         stage.add_counter("local_matches", len(local_bindings))
@@ -383,6 +464,8 @@ class GStoreDEngine:
         lpms_by_site: Dict[int, List[LocalPartialMatch]],
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> Dict[int, List[LocalPartialMatch]]:
         stage = stats.stage(STAGE_PRUNING)
         if not self.config.use_lec_pruning:
@@ -390,28 +473,33 @@ class GStoreDEngine:
 
         classes_by_site: Dict[int, Dict[LECFeature, List[LocalPartialMatch]]] = {}
         features_by_site: Dict[int, List[LECFeature]] = {}
-        for result in self._run_site_tasks(lec_feature_tasks(lpms_by_site), timer, STAGE_PRUNING):
-            classes = result.value
-            classes_by_site[result.site_id] = classes
-            features_by_site[result.site_id] = list(classes)
-            shipped = self.cluster.bus.send(
-                result.site_id, COORDINATOR, "lec_features", list(classes), STAGE_PRUNING
-            )
-            stage.shipped_bytes += shipped
-            stage.messages += 1
-        with timer.measure(STAGE_PRUNING, COORDINATOR):
-            outcome, surviving_features = prune_features(query_graph, features_by_site)
-        for site_id in lpms_by_site:
-            shipped = self.cluster.bus.send(
-                COORDINATOR, site_id, "surviving_features", list(surviving_features[site_id]), STAGE_PRUNING
-            )
-            stage.shipped_bytes += shipped
-            stage.messages += 1
-
         surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
-        filter_tasks = lec_filter_tasks(classes_by_site, surviving_features)
-        for result in self._run_site_tasks(filter_tasks, timer, STAGE_PRUNING):
-            surviving_by_site[result.site_id] = result.value
+        with stage_scope(trace, profiler, STAGE_PRUNING) as span:
+            for result in self._run_site_tasks(
+                lec_feature_tasks(lpms_by_site), timer, STAGE_PRUNING, trace
+            ):
+                classes = result.value
+                classes_by_site[result.site_id] = classes
+                features_by_site[result.site_id] = list(classes)
+                shipped = self.cluster.bus.send(
+                    result.site_id, COORDINATOR, "lec_features", list(classes), STAGE_PRUNING
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+            with timer.measure(STAGE_PRUNING, COORDINATOR):
+                outcome, surviving_features = prune_features(query_graph, features_by_site)
+            for site_id in lpms_by_site:
+                shipped = self.cluster.bus.send(
+                    COORDINATOR, site_id, "surviving_features", list(surviving_features[site_id]), STAGE_PRUNING
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+
+            filter_tasks = lec_filter_tasks(classes_by_site, surviving_features)
+            for result in self._run_site_tasks(filter_tasks, timer, STAGE_PRUNING, trace):
+                surviving_by_site[result.site_id] = result.value
+            if span is not None:
+                span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_PRUNING))
         stage.coordinator_time_s += timer.elapsed(STAGE_PRUNING, COORDINATOR)
         self._charge_network(stage)
@@ -432,18 +520,23 @@ class GStoreDEngine:
         lpms_by_site: Dict[int, List[LocalPartialMatch]],
         timer: StageTimer,
         stats: QueryStatistics,
+        trace: Optional[Trace] = None,
+        profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
         stage = stats.stage(STAGE_ASSEMBLY)
         all_lpms: List[LocalPartialMatch] = []
-        for site_id, lpms in lpms_by_site.items():
-            shipped = self.cluster.bus.send(
-                site_id, COORDINATOR, "local_partial_matches", lpms, STAGE_ASSEMBLY
-            )
-            stage.shipped_bytes += shipped
-            stage.messages += 1
-            all_lpms.extend(lpms)
-        with timer.measure(STAGE_ASSEMBLY, COORDINATOR):
-            outcome = assemble_matches(query_graph, all_lpms, use_lec_grouping=self.config.use_lec_assembly)
+        with stage_scope(trace, profiler, STAGE_ASSEMBLY) as span:
+            for site_id, lpms in lpms_by_site.items():
+                shipped = self.cluster.bus.send(
+                    site_id, COORDINATOR, "local_partial_matches", lpms, STAGE_ASSEMBLY
+                )
+                stage.shipped_bytes += shipped
+                stage.messages += 1
+                all_lpms.extend(lpms)
+            with timer.measure(STAGE_ASSEMBLY, COORDINATOR):
+                outcome = assemble_matches(query_graph, all_lpms, use_lec_grouping=self.config.use_lec_assembly)
+            if span is not None:
+                span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.coordinator_time_s += timer.elapsed(STAGE_ASSEMBLY, COORDINATOR)
         self._charge_network(stage)
         stage.add_counter("assembled_local_partial_matches", len(all_lpms))

@@ -62,6 +62,22 @@ class CandidateVectorsOutput:
 
 
 @dataclass(frozen=True)
+class LocalEvalOutput:
+    """One site's star-shortcut step: local matches plus the work they cost.
+
+    Only ``matches`` is shipped to the coordinator (the engine charges the
+    bus with the list itself, exactly as before this wrapper existed);
+    ``search_steps`` is a work counter folded into
+    :attr:`~repro.distributed.QueryStatistics.work` in the serial merge.
+    """
+
+    #: The site's fragment-local matches (the shipped payload).
+    matches: List[Binding]
+    #: Matcher search steps the local evaluation cost (never shipped).
+    search_steps: int = 0
+
+
+@dataclass(frozen=True)
 class PartialEvalOutput:
     """One site's partial-evaluation step: complete + partial local matches."""
 
@@ -71,20 +87,26 @@ class PartialEvalOutput:
     local_partial_matches: List[LocalPartialMatch]
     #: Extended-candidate branches cut by the stage-1 bit-vector filter.
     branches_pruned_by_filter: int
+    #: Matcher search steps of the fragment-local complete evaluation
+    #: (the same deterministic work counter the kernel benchmarks report).
+    search_steps: int = 0
 
 
 # ----------------------------------------------------------------------
 # Stage handlers (module-level, picklable by reference)
 # ----------------------------------------------------------------------
 @register_site_task(TASK_LOCAL_EVAL)
-def run_local_eval(site, payload: Mapping[str, object]) -> List[Binding]:
+def run_local_eval(site, payload: Mapping[str, object]) -> LocalEvalOutput:
     """Evaluate the query entirely inside the site's fragment.
 
     The star-query shortcut: every match of a star query is contained in a
     single fragment because crossing edges are replicated.
     """
     query: SelectQuery = payload["query"]
-    return list(site.local_evaluate(query))
+    matches = list(site.local_evaluate(query))
+    return LocalEvalOutput(
+        matches=matches, search_steps=site.store.matcher.search_steps
+    )
 
 
 @register_site_task(TASK_CANDIDATE_VECTORS)
@@ -104,6 +126,7 @@ def run_partial_eval(site, payload: Mapping[str, object]) -> PartialEvalOutput:
     query_graph: QueryGraph = payload["query_graph"]
     candidate_filter: Optional[GlobalCandidateFilter] = payload["candidate_filter"]
     local_results = list(site.local_evaluate(query))
+    search_steps = site.store.matcher.search_steps
     evaluator = PartialEvaluator(
         site.fragment,
         graph=site.graph,
@@ -115,6 +138,7 @@ def run_partial_eval(site, payload: Mapping[str, object]) -> PartialEvalOutput:
         local_matches=local_results,
         local_partial_matches=outcome.local_partial_matches,
         branches_pruned_by_filter=outcome.branches_pruned_by_filter,
+        search_steps=search_steps,
     )
 
 

@@ -11,6 +11,7 @@ from .network import (
     NetworkModel,
     PlatformModel,
     SPARK_SQL_PLATFORM,
+    ShipmentSnapshot,
     StageTimer,
     estimate_size,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "PlatformModel",
     "QueryStatistics",
     "SPARK_SQL_PLATFORM",
+    "ShipmentSnapshot",
     "Site",
     "StageStats",
     "StageTimer",

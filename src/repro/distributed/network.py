@@ -121,6 +121,23 @@ class Message:
     stage: str
 
 
+@dataclass(frozen=True)
+class ShipmentSnapshot:
+    """An immutable summary of the bus at one point in time.
+
+    Taken with :meth:`MessageBus.snapshot` *before* the bus is reset between
+    queries, so a finished query's shipment breakdown (by stage and by
+    message kind) survives the next ``Cluster.reset_network()`` — this is
+    what the session layer attaches to each :class:`~repro.api.Result`.
+    """
+
+    total_bytes: int
+    total_messages: int
+    bytes_by_stage: Dict[str, int]
+    messages_by_stage: Dict[str, int]
+    bytes_by_kind: Dict[str, int]
+
+
 @dataclass
 class MessageBus:
     """Records every message sent between sites / the coordinator.
@@ -174,6 +191,30 @@ class MessageBus:
             for message in self.messages:
                 totals[message.kind] = totals.get(message.kind, 0) + message.size_bytes
             return totals
+
+    def snapshot(self) -> ShipmentSnapshot:
+        """Summarize the current log into an immutable :class:`ShipmentSnapshot`."""
+        with self._lock:
+            bytes_by_stage: Dict[str, int] = {}
+            messages_by_stage: Dict[str, int] = {}
+            bytes_by_kind: Dict[str, int] = {}
+            total = 0
+            for message in self.messages:
+                total += message.size_bytes
+                bytes_by_stage[message.stage] = (
+                    bytes_by_stage.get(message.stage, 0) + message.size_bytes
+                )
+                messages_by_stage[message.stage] = messages_by_stage.get(message.stage, 0) + 1
+                bytes_by_kind[message.kind] = (
+                    bytes_by_kind.get(message.kind, 0) + message.size_bytes
+                )
+            return ShipmentSnapshot(
+                total_bytes=total,
+                total_messages=len(self.messages),
+                bytes_by_stage=bytes_by_stage,
+                messages_by_stage=messages_by_stage,
+                bytes_by_kind=bytes_by_kind,
+            )
 
     def reset(self) -> None:
         with self._lock:

@@ -87,6 +87,11 @@ class QueryStatistics:
     stages: List[StageStats] = field(default_factory=list)
     num_results: int = 0
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Work counters that are *not* table columns (``as_row`` excludes them):
+    #: deterministic work measures like the matcher's total ``search_steps``
+    #: across sites, consumed by the observability layer and equivalence
+    #: tests rather than the paper's table renderer.
+    work: Dict[str, int] = field(default_factory=dict)
 
     def stage(self, name: str) -> StageStats:
         """Get (or lazily create) the stage named ``name``."""
@@ -122,6 +127,37 @@ class QueryStatistics:
         if stage is None:
             return default
         return stage.counters.get(counter_name, default)
+
+    def snapshot(self) -> "QueryStatistics":
+        """A deep copy sharing no mutable state with this instance.
+
+        The session layer snapshots each query's statistics into its
+        :class:`~repro.api.Result` so that nothing a later query does to the
+        cluster (``reset_network()`` clearing timers, engines reusing stage
+        objects) can mutate or zero an already-returned result's numbers.
+        """
+        return QueryStatistics(
+            query_name=self.query_name,
+            engine=self.engine,
+            dataset=self.dataset,
+            partitioning=self.partitioning,
+            stages=[
+                StageStats(
+                    name=stage.name,
+                    site_times_s=dict(stage.site_times_s),
+                    coordinator_time_s=stage.coordinator_time_s,
+                    network_time_s=stage.network_time_s,
+                    platform_time_s=stage.platform_time_s,
+                    shipped_bytes=stage.shipped_bytes,
+                    messages=stage.messages,
+                    counters=dict(stage.counters),
+                )
+                for stage in self.stages
+            ],
+            num_results=self.num_results,
+            extra=dict(self.extra),
+            work=dict(self.work),
+        )
 
     def as_row(self) -> Dict[str, object]:
         """Flatten into a single report row (used by the benchmark tables)."""

@@ -23,9 +23,12 @@ tasks ever touching shared state.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..obs.trace import SpanContext, TaskSpan
 
 #: Registered stage handlers, keyed by task name.  Handlers are registered at
 #: import time by the modules that define them (:mod:`repro.core.site_tasks`,
@@ -50,11 +53,19 @@ class SiteTask:
     of the handler beyond the site itself.  Handlers must not reach for the
     cluster, the message bus or the engine; that is what makes the same task
     executable in another process.
+
+    ``trace`` (optional) is the :class:`~repro.obs.SpanContext` of the
+    coordinator's open stage span; when set, :func:`execute_site_task`
+    measures a :class:`~repro.obs.TaskSpan` for the handler so the trace can
+    reassemble per-site spans after the fan-out.  Like the payload it is
+    plain picklable data — tracing survives the process-pool backend without
+    the backends knowing about it.
     """
 
     site_id: int
     stage: str
     payload: Mapping[str, Any] = field(default_factory=dict)
+    trace: Optional[SpanContext] = None
 
 
 @dataclass(frozen=True)
@@ -64,12 +75,17 @@ class SiteTaskResult:
     ``elapsed_s`` is measured around the handler alone (no pickling, no
     queueing), so the engine's stage timers report comparable per-site compute
     times for every backend.
+
+    ``span`` is populated only when the task carried a trace context: the raw
+    :class:`~repro.obs.TaskSpan` measured where the handler ran, for the
+    coordinator's merge to fold into the query trace.
     """
 
     site_id: int
     stage: str
     elapsed_s: float
     value: Any
+    span: Optional[TaskSpan] = None
 
 
 def register_site_task(stage: str, payload_bound: bool = False) -> Callable[[Callable], Callable]:
@@ -136,4 +152,15 @@ def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskRes
     handler = _resolve_handler(task.stage)
     started = time.perf_counter()
     value = handler(site, task.payload)
-    return SiteTaskResult(task.site_id, task.stage, time.perf_counter() - started, value)
+    ended = time.perf_counter()
+    span = None
+    if task.trace is not None:
+        span = TaskSpan(
+            site_id=task.site_id,
+            stage=task.stage,
+            start_s=started,
+            end_s=ended,
+            pid=os.getpid(),
+            context=task.trace,
+        )
+    return SiteTaskResult(task.site_id, task.stage, ended - started, value, span)

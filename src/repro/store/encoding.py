@@ -24,6 +24,7 @@ to the distributed layers); everything inside the kernel is ints.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..rdf.graph import RDFGraph
@@ -267,6 +268,26 @@ class EncodedGraph:
         )
 
 
+#: Process-local count of :class:`EncodedGraph` constructions performed by
+#: :func:`encoded_view` (cache misses + version-invalidated rebuilds).  The
+#: observability layer exposes it as the ``repro_encoded_graph_rebuilds``
+#: gauge; a count that climbs query-over-query means graphs are being
+#: mutated (or recreated) between queries and the encoding cache is cold.
+_REBUILDS = 0
+_REBUILDS_LOCK = threading.Lock()
+
+
+def encoded_rebuilds() -> int:
+    """How many ``EncodedGraph`` builds this process has performed so far.
+
+    Only this process: sites bootstrapped inside process-pool workers build
+    their encodings in the worker, where the coordinator's counter cannot
+    see them.
+    """
+    with _REBUILDS_LOCK:
+        return _REBUILDS
+
+
 def encoded_view(graph: RDFGraph) -> EncodedGraph:
     """The (cached) dictionary-encoded view of ``graph``.
 
@@ -281,4 +302,7 @@ def encoded_view(graph: RDFGraph) -> EncodedGraph:
         return cached[1]
     encoded = EncodedGraph(graph)
     setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
+    global _REBUILDS
+    with _REBUILDS_LOCK:
+        _REBUILDS += 1
     return encoded

@@ -12,6 +12,7 @@ import pytest
 from repro.bench import stage_shipment_snapshot as snapshot
 from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import get_dataset
+from repro.obs import CATEGORY_TASK, Trace
 
 WORKER_COUNTS = (1, 2, 8)
 
@@ -20,10 +21,12 @@ WORKER_COUNTS = (1, 2, 8)
 SERIAL = EngineConfig.full().with_options(executor="serial")
 
 
-def run(cluster, query, config):
+def run(cluster, query, config, trace=None):
     cluster.reset_network()
     engine = GStoreDEngine(cluster, config)
     try:
+        if trace is not None:
+            return engine.execute(query, trace=trace)
         return engine.execute(query)
     finally:
         engine.close()
@@ -56,6 +59,36 @@ def test_threaded_runs_agree_with_each_other(lubm_cluster):
         result_sets.append(result.results)
     assert all(snap == snapshots[0] for snap in snapshots)
     assert all(results.same_solutions(result_sets[0]) for results in result_sets)
+
+
+@pytest.mark.parametrize("query_name", ["LQ1", "LQ2"])  # general pipeline + star shortcut
+def test_tracing_does_not_change_results_or_accounting(lubm_cluster, query_name):
+    """Observability must be a pure observer: with a trace attached, every
+    worker count still produces bit-identical answers, shipment fingerprints
+    and ``search_steps`` — and the trace itself gains per-site task spans."""
+    query = get_dataset("LUBM").queries()[query_name]
+    run(lubm_cluster, query, SERIAL)  # warm the plan cache
+    reference = run(lubm_cluster, query, SERIAL)
+    reference_rows = sorted(map(sorted, (row.items() for row in reference.results.to_table())))
+    for workers in WORKER_COUNTS:
+        trace = Trace("query")
+        result = run(lubm_cluster, query, EngineConfig.full().with_workers(workers), trace=trace)
+        trace.finish()
+        rows = sorted(map(sorted, (row.items() for row in result.results.to_table())))
+        assert rows == reference_rows
+        assert snapshot(result) == snapshot(reference)
+        assert result.statistics.work == reference.statistics.work
+        task_spans = trace.find_spans(category=CATEGORY_TASK)
+        assert len(task_spans) >= lubm_cluster.num_sites
+
+
+def test_traced_serial_equals_untraced_serial(lubm_cluster):
+    query = get_dataset("LUBM").queries()["LQ7"]
+    untraced = run(lubm_cluster, query, SERIAL)
+    traced = run(lubm_cluster, query, SERIAL, trace=Trace("query"))
+    assert traced.results.same_solutions(untraced.results)
+    assert snapshot(traced) == snapshot(untraced)
+    assert traced.statistics.work == untraced.statistics.work
 
 
 def test_executor_is_recorded_for_non_serial_backends_only(lubm_cluster):

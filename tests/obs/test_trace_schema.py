@@ -1,0 +1,119 @@
+"""Chrome trace-event schema validation for real traced executions.
+
+The CI ``obs-smoke`` job and ``repro query --trace`` both rely on
+:func:`repro.obs.validate_chrome_trace`; this module pins (a) that the
+validator accepts what every executor backend actually produces, and (b)
+that it rejects documents Perfetto could not load.
+"""
+
+import json
+
+import pytest
+
+from repro.core import EngineConfig, GStoreDEngine
+from repro.datasets import get_dataset
+from repro.exec import ProcessPoolBackend
+from repro.obs import CATEGORY_STAGE, CATEGORY_TASK, Trace, validate_chrome_trace
+
+SERIAL = EngineConfig.full().with_options(executor="serial")
+
+
+def traced_run(cluster, config, backend=None):
+    query = get_dataset("LUBM").queries()["LQ1"]
+    cluster.reset_network()
+    trace = Trace("query", engine="gstored")
+    engine = GStoreDEngine(cluster, config, backend=backend) if backend else GStoreDEngine(cluster, config)
+    try:
+        result = engine.execute(query, trace=trace)
+    finally:
+        engine.close()
+    trace.finish(rows=len(result.results))
+    return trace
+
+
+class TestRealTracesValidate:
+    def test_serial_backend_trace_round_trips_through_json(self, lubm_cluster, tmp_path):
+        trace = traced_run(lubm_cluster, SERIAL)
+        path = tmp_path / "trace.json"
+        trace.save(str(path))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        events = validate_chrome_trace(payload)
+        names = {event["name"] for event in events}
+        assert "query" in names
+        assert "plan" in names
+        assert any(name.startswith("stage:") for name in names)
+        assert any(name.startswith("site:") for name in names)
+        # Site tasks render on their own named tracks.
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        track_names = {e["args"]["name"] for e in metadata}
+        assert "coordinator" in track_names
+        assert any(name.startswith("site ") for name in track_names)
+
+    def test_threads_backend_trace_validates(self, lubm_cluster):
+        trace = traced_run(lubm_cluster, EngineConfig.full().with_workers(2))
+        events = validate_chrome_trace(trace.to_chrome())
+        assert len([e for e in events if e["cat"] == CATEGORY_TASK]) >= lubm_cluster.num_sites
+
+    def test_processes_backend_trace_validates(self, lubm_cluster):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            trace = traced_run(
+                lubm_cluster,
+                EngineConfig.full().with_executor("processes", 2),
+                backend=backend,
+            )
+        events = validate_chrome_trace(trace.to_chrome())
+        task_events = [e for e in events if e["cat"] == CATEGORY_TASK]
+        assert len(task_events) >= lubm_cluster.num_sites
+        # Worker-process clocks were re-anchored: every ts is non-negative
+        # and within the root span (validate_chrome_trace already checks >= 0).
+        root = next(e for e in events if e["name"] == "query")
+        for event in task_events:
+            assert event["ts"] >= root["ts"]
+
+    def test_stage_spans_carry_shipment_attrs(self, lubm_cluster):
+        trace = traced_run(lubm_cluster, SERIAL)
+        stage_spans = trace.find_spans(category=CATEGORY_STAGE)
+        assert stage_spans
+        for span in stage_spans:
+            assert "shipped_bytes" in span.attrs
+            assert "messages" in span.attrs
+
+
+class TestValidatorRejections:
+    def test_rejects_non_objects_and_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unsupported_phases(self):
+        with pytest.raises(ValueError, match="unsupported phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 0}]}
+            )
+
+    def test_rejects_missing_names_and_non_integer_ids(self):
+        with pytest.raises(ValueError, match="'name'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "", "pid": 1, "tid": 0}]}
+            )
+        with pytest.raises(ValueError, match="'pid'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "pid": "1", "tid": 0}]}
+            )
+
+    def test_rejects_negative_timestamps_and_missing_args(self):
+        event = {"ph": "X", "name": "x", "cat": "stage", "pid": 1, "tid": 0, "ts": -1, "dur": 0, "args": {}}
+        with pytest.raises(ValueError, match="'ts'"):
+            validate_chrome_trace({"traceEvents": [event]})
+        event = {"ph": "X", "name": "x", "cat": "stage", "pid": 1, "tid": 0, "ts": 0, "dur": 0}
+        with pytest.raises(ValueError, match="'args'"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_metadata_only_documents(self):
+        with pytest.raises(ValueError, match="no complete"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "M", "name": "thread_name", "pid": 1, "tid": 0}]}
+            )

@@ -16,6 +16,7 @@ from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import random_assignment, random_connected_query, random_graph
 from repro.distributed import build_cluster
 from repro.exec import ProcessPoolBackend
+from repro.obs import Trace
 from repro.partition import build_partitioned_graph
 from repro.store import evaluate_centralized
 
@@ -111,6 +112,42 @@ class TestCrossEngineEquivalence:
         assert processed.results.same_solutions(expected)
         assert stage_shipment_snapshot(threaded) == serial_snapshot
         assert stage_shipment_snapshot(processed) == serial_snapshot
+
+    @given(seeds, fragment_counts, query_sizes, process_worker_counts)
+    @settings(max_examples=4, deadline=None)
+    def test_tracing_on_is_equivalent_to_tracing_off(
+        self, seed, num_fragments, query_edges, workers
+    ):
+        """Tracing must never perturb execution: answers, per-stage shipment
+        fingerprints and ``search_steps`` are bit-identical with a trace
+        attached, across the serial, thread-pool and process-pool backends."""
+        _, query, cluster = build_environment(seed, num_fragments, query_edges, 0.25)
+        cluster.reset_network()
+        untraced = GStoreDEngine(cluster, SERIAL).execute(query)
+        base_rows = sorted_rows(untraced.results)
+        base_snapshot = stage_shipment_snapshot(untraced)
+        base_work = dict(untraced.statistics.work)
+
+        cluster.reset_network()
+        serial_traced = GStoreDEngine(cluster, SERIAL).execute(query, trace=Trace("query"))
+
+        cluster.reset_network()
+        threaded_engine = GStoreDEngine(cluster, EngineConfig.full().with_workers(workers))
+        threaded_traced = threaded_engine.execute(query, trace=Trace("query"))
+        threaded_engine.close()
+
+        cluster.reset_network()
+        with ProcessPoolBackend(max_workers=workers) as backend:
+            process_engine = GStoreDEngine(
+                cluster, EngineConfig.full().with_executor("processes", workers), backend=backend
+            )
+            process_traced = process_engine.execute(query, trace=Trace("query"))
+            process_engine.close()
+
+        for traced in (serial_traced, threaded_traced, process_traced):
+            assert sorted_rows(traced.results) == base_rows
+            assert stage_shipment_snapshot(traced) == base_snapshot
+            assert dict(traced.statistics.work) == base_work
 
     @given(seeds, fragment_counts, query_sizes)
     @settings(max_examples=6, deadline=None)

@@ -27,6 +27,7 @@ REPRO_EXPORTS = [
     "LocalMatcher",
     "LocalPartialMatch",
     "MetisLikePartitioner",
+    "MetricsRegistry",
     "Namespace",
     "NamespaceManager",
     "OptimizationLevel",
@@ -42,7 +43,11 @@ REPRO_EXPORTS = [
     "SemanticHashPartitioner",
     "SerialBackend",
     "Session",
+    "ShipmentSnapshot",
+    "StageProfiler",
     "ThreadPoolBackend",
+    "Trace",
+    "Tracer",
     "Triple",
     "TripleStore",
     "Variable",

@@ -354,6 +354,116 @@ class TestQueryExecutor:
         assert "--executor" in capsys.readouterr().err
 
 
+class TestQueryObservability:
+    QUERY = TestQuery.QUERY
+
+    def test_trace_writes_a_valid_chrome_trace(self, dataset_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+             "--trace", str(trace_path)]
+        )
+        assert exit_code == 0
+        assert f"trace: wrote" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = validate_chrome_trace(payload)
+        assert any(event["name"].startswith("stage:") for event in events)
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_trace_works_under_every_parallel_backend(
+        self, dataset_file, tmp_path, capsys, executor
+    ):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--executor", executor,
+             "--workers", "2", "--query", self.QUERY, "--trace", str(trace_path)]
+        )
+        assert exit_code == 0
+        validate_chrome_trace(json.loads(trace_path.read_text(encoding="utf-8")))
+
+    def test_trace_rejected_for_baseline_engines(self, dataset_file, tmp_path, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "2", "--engine", "dream",
+             "--query", self.QUERY, "--trace", str(tmp_path / "t.json")]
+        )
+        assert exit_code == 2
+        message = capsys.readouterr().err
+        assert "--trace" in message
+        for choice in ("gstored", "basic", "la", "lo"):
+            assert choice in message
+        assert not (tmp_path / "t.json").exists()
+
+    def test_metrics_prints_a_prometheus_exposition(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+             "--metrics"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in output
+        assert "# TYPE repro_stage_seconds histogram" in output
+        assert "repro_stage_seconds_bucket" in output
+        assert "repro_plan_cache_hits_total" in output
+
+    def test_metrics_works_with_baseline_engines(self, dataset_file, capsys):
+        exit_code = main(
+            ["query", "--data", str(dataset_file), "--sites", "2", "--engine", "dream",
+             "--query", self.QUERY, "--metrics"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert 'repro_queries_total{engine="DREAM"} 1' in output
+
+    def test_tracing_does_not_change_the_solution_lines(self, dataset_file, tmp_path, capsys):
+        main(["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+              "--limit", "100"])
+        plain = capsys.readouterr().out.splitlines()
+        main(["query", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+              "--limit", "100", "--trace", str(tmp_path / "t.json")])
+        traced = capsys.readouterr().out.splitlines()
+        # Identical banner + solutions; the traced run only appends its footer.
+        assert traced[: len(plain)] == plain
+        assert traced[len(plain)].startswith("trace: wrote")
+
+
+class TestExplainObservability:
+    QUERY = TestQuery.QUERY
+
+    def test_explain_trace_covers_statistics_and_planning(self, dataset_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "explain.json"
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+             "--trace", str(trace_path)]
+        )
+        assert exit_code == 0
+        events = validate_chrome_trace(json.loads(trace_path.read_text(encoding="utf-8")))
+        names = {event["name"] for event in events}
+        assert "collect_statistics" in names
+        assert "plan" in names
+
+    def test_explain_metrics_reports_phase_timings(self, dataset_file, capsys):
+        exit_code = main(
+            ["explain", "--data", str(dataset_file), "--sites", "3", "--query", self.QUERY,
+             "--metrics"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert 'repro_stage_seconds_bucket{stage="planning"' in output
+        assert 'repro_stage_seconds_bucket{stage="statistics"' in output
+
+
 class TestExplain:
     QUERY = (
         "PREFIX ub: <http://example.org/univ-bench#> "

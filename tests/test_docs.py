@@ -117,6 +117,23 @@ def test_docs_cover_the_api_surface():
         assert f"`{name}`" in text, f"docs/api.md does not document engine {name!r}"
 
 
+def test_docs_cover_the_observability_surface():
+    text = (REPO_ROOT / "docs" / "observability.md").read_text(encoding="utf-8")
+    for required in (
+        "--trace",
+        "--metrics",
+        "REPRO_PROFILE",
+        "Perfetto",
+        "validate_chrome_trace",
+        "repro_queries_total",
+        "repro_stage_seconds",
+        "repro_shipped_bytes_total",
+        "SpanContext",
+        "synthesized",
+    ):
+        assert required in text, f"docs/observability.md no longer mentions {required}"
+
+
 def test_docs_cover_every_benchmark_module():
     text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
     for module in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
@@ -125,5 +142,10 @@ def test_docs_cover_every_benchmark_module():
 
 def test_readme_points_into_the_docs_tree():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for target in ("docs/architecture.md", "docs/execution.md", "docs/benchmarks.md"):
+    for target in (
+        "docs/architecture.md",
+        "docs/execution.md",
+        "docs/benchmarks.md",
+        "docs/observability.md",
+    ):
         assert target in text, f"README.md does not link to {target}"

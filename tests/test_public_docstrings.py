@@ -1,7 +1,8 @@
 """Documentation can't rot: every exported public API name stays documented.
 
-The ``docs/`` tree and the README describe ``repro.api``, ``repro.exec``
-and ``repro.planner`` by their public names; this sweep asserts that
+The ``docs/`` tree and the README describe ``repro.api``, ``repro.exec``,
+``repro.obs`` and ``repro.planner`` by their public names; this sweep
+asserts that
 everything those packages export through ``__all__`` actually exists and
 that every exported function and class defined in this codebase carries a
 non-trivial docstring.  (Typing aliases and plain constants cannot hold
@@ -14,9 +15,10 @@ import pytest
 
 import repro.api
 import repro.exec
+import repro.obs
 import repro.planner
 
-SWEPT_MODULES = (repro.api, repro.exec, repro.planner)
+SWEPT_MODULES = (repro.api, repro.exec, repro.obs, repro.planner)
 
 
 def _documented_objects(module):

@@ -44,8 +44,10 @@ True
 import warnings as _warnings
 
 from .api import (
+    AsyncSession,
     CentralizedEngine,
     QueryEngine,
+    QueryServer,
     Result,
     Session,
     engine_names,
@@ -107,6 +109,7 @@ def quickstart_cluster(num_fragments: int = 3, strategy: str = "hash"):
 
 __all__ = [
     "ABLATION_CONFIGS",
+    "AsyncSession",
     "Binding",
     "CentralizedEngine",
     "Cluster",
@@ -130,6 +133,7 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
+    "QueryServer",
     "QueryStatistics",
     "RDFGraph",
     "Result",

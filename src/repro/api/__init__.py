@@ -12,6 +12,14 @@ Three pieces make every evaluator in the repository interchangeable:
   :class:`~repro.distributed.QueryStatistics`, and canonical
   ``sorted_rows()`` for cross-engine comparison.
 
+The concurrent serving layer builds on the same pieces: sessions are
+thread-safe, :class:`AsyncSession` multiplexes queries over one warm
+session from asyncio code, :class:`ResultCache` (opt-in via
+``open(..., result_cache=N)``) serves repeated template instantiations
+without re-executing, and :class:`QueryServer` /
+:class:`AdmissionController` put a load-shedding HTTP front end on top
+(``repro serve``).  See ``docs/serving.md``.
+
 The CLI, the benchmark harness and the examples are all built on this
 module; legacy entry points (``repro.quickstart_cluster``, direct
 ``GStoreDEngine`` construction) keep working but the new code path is this
@@ -32,18 +40,26 @@ from .engines import (
     register_engine,
     resolve_engine_name,
 )
+from .cache import ResultCache, result_cache_key
 from .result import Result
-from .session import Session, open_session
+from .serving import AdmissionController, AdmissionError, AsyncSession, QueryServer
+from .session import QueryBatch, Session, open_session
 
 #: ``repro.api.open`` mirrors the package-level ``repro.open`` alias.
 open = open_session
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AsyncSession",
     "CentralizedEngine",
     "EngineAdapter",
     "EngineSpec",
+    "QueryBatch",
     "QueryEngine",
+    "QueryServer",
     "Result",
+    "ResultCache",
     "STAGE_CENTRALIZED",
     "Session",
     "engine_aliases",
@@ -55,4 +71,5 @@ __all__ = [
     "open_session",
     "register_engine",
     "resolve_engine_name",
+    "result_cache_key",
 ]

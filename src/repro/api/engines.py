@@ -35,6 +35,7 @@ Registry names (see :func:`engine_names`):
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
@@ -154,6 +155,10 @@ class CentralizedEngine:
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self._matcher: Optional[LocalMatcher] = None
+        # One machine, one matcher: the matcher accumulates its
+        # ``search_steps`` work counter on itself, so concurrent queries
+        # serialize on this lock (which also guards the lazy build).
+        self._lock = threading.Lock()
 
     def _ensure_matcher(self) -> LocalMatcher:
         if self._matcher is None:
@@ -177,25 +182,28 @@ class CentralizedEngine:
             partitioning=self.cluster.partitioned_graph.strategy,
         )
         stage = stats.stage(STAGE_CENTRALIZED)
-        matcher = self._ensure_matcher()
         with stage_scope(trace, profiler, STAGE_CENTRALIZED) as span:
-            started = time.perf_counter()
-            results = matcher.evaluate(query)
-            # The distributed engines all project with distinct=True (duplicate
-            # solutions collapse when projection drops variables); normalize the
-            # centralized answer to the same convention so every evaluator is
-            # row-for-row comparable.
-            results = results.project(query.effective_projection, distinct=True)
-            stage.coordinator_time_s += time.perf_counter() - started
+            with self._lock:
+                matcher = self._ensure_matcher()
+                started = time.perf_counter()
+                results = matcher.evaluate(query)
+                # The distributed engines all project with distinct=True (duplicate
+                # solutions collapse when projection drops variables); normalize the
+                # centralized answer to the same convention so every evaluator is
+                # row-for-row comparable.
+                results = results.project(query.effective_projection, distinct=True)
+                stage.coordinator_time_s += time.perf_counter() - started
+                search_steps = matcher.search_steps
             if span is not None:
-                span.set(search_steps=matcher.search_steps, shipped_bytes=0, messages=0)
-        stats.work["search_steps"] = matcher.search_steps
+                span.set(search_steps=search_steps, shipped_bytes=0, messages=0)
+        stats.work["search_steps"] = search_steps
         stats.num_results = len(results)
         return Result(results, stats)
 
     def close(self) -> None:
         """Drop the cached matcher (indexes are rebuilt on next use)."""
-        self._matcher = None
+        with self._lock:
+            self._matcher = None
 
     def __enter__(self) -> "CentralizedEngine":
         return self

@@ -54,6 +54,11 @@ class Result:
         #: :class:`~repro.api.Session` (``None`` otherwise).  Unlike the live
         #: bus, this survives the next query's ``reset_network()``.
         self.shipment = None
+        #: ``True`` when the session served this result from its opt-in
+        #: result cache (``repro.open(..., result_cache=N)``) instead of
+        #: executing; the statistics then describe the run that populated
+        #: the cache entry.
+        self.cache_hit = False
 
     # ------------------------------------------------------------------
     # Construction helpers

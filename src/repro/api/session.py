@@ -25,7 +25,8 @@ shuts the backend's worker pools down.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import EngineConfig
 from ..datasets.registry import DATASETS, get_dataset
@@ -39,6 +40,7 @@ from ..obs import (
     Trace,
     Tracer,
     record_query,
+    record_query_failure,
     record_statistics_spans,
 )
 from ..partition.fragment import PartitionedGraph
@@ -49,6 +51,7 @@ from ..rdf.graph import RDFGraph
 from ..sparql.algebra import SelectQuery
 from ..sparql.parser import parse_query
 from ..sparql.query_graph import QueryGraph
+from .cache import ResultCache, result_cache_key
 from .engines import QueryEngine, engine_spec, make_engine, resolve_engine_name
 from .result import Result
 
@@ -81,6 +84,33 @@ def _partition(strategy: str, num_sites: int, graph: RDFGraph):
         ) from None
 
 
+class QueryBatch:
+    """What :meth:`Session.query_many` returns: results plus a batch report.
+
+    ``results`` holds one :class:`Result` per input query, in input order
+    (the batch iterates and indexes like that list); ``report`` holds one
+    plain dict per query with the engine/backend the query ran on and its
+    headline numbers (rows, total time, shipment, cache hit) — ready for a
+    table or a JSON dump without touching the statistics objects.
+    """
+
+    def __init__(self, results: List[Result], report: List[Dict[str, object]]) -> None:
+        self.results = list(results)
+        self.report = list(report)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> Result:
+        return self.results[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<QueryBatch queries={len(self.results)}>"
+
+
 class Session:
     """One prepared workload plus the engines and executor pool to query it.
 
@@ -88,6 +118,13 @@ class Session:
     :meth:`from_partitioned` / :meth:`from_cluster` for ad-hoc graphs the
     caller partitioned itself (federation scenarios).  Sessions are context
     managers; :meth:`close` is idempotent.
+
+    Sessions are safe to share between threads: concurrent :meth:`query`
+    calls each get their own shipment ledger on the cluster's message bus
+    (see :class:`~repro.distributed.ShipmentLedger`), engine construction
+    and lifecycle are lock-guarded, and the determinism contract holds —
+    a query returns the same answers, statistics and shipment fingerprint
+    whether it ran alone or next to others (``docs/serving.md``).
     """
 
     def __init__(
@@ -103,6 +140,7 @@ class Session:
         config: Optional[EngineConfig] = None,
         trace: bool = False,
         profile: Optional[bool] = None,
+        result_cache: int = 0,
         **config_options,
     ) -> None:
         self.cluster = cluster
@@ -139,6 +177,17 @@ class Session:
         self.default_engine = resolve_engine_name(engine)
         self._engines: Dict[str, QueryEngine] = {}
         self._closed = False
+        # Guards lazy engine construction and close(); per-query state never
+        # takes it, so queries only contend here on an engine's first use.
+        self._lock = threading.RLock()
+        #: Opt-in result cache (``result_cache=N`` entries); ``None`` — the
+        #: default — preserves the execute-every-call contract.
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(result_cache, self.metrics) if result_cache else None
+        )
+        # record_query reports encoded-graph rebuilds as a delta since open,
+        # so one session's metrics never absorb another session's builds.
+        self._rebuilds_at_open = encoded_rebuilds()
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -201,17 +250,24 @@ class Session:
 
         gStoreD-family engines receive the session's :class:`EngineConfig`
         and share the session's executor backend; fixed-strategy engines
-        (baselines, centralized) take neither.
+        (baselines, centralized) take neither.  Construction is lock-guarded:
+        two threads asking for the same engine concurrently get the *same*
+        instance, never a duplicate whose twin leaks unclosed.
         """
         self._ensure_open()
         canonical = resolve_engine_name(name) if name is not None else self.default_engine
-        if canonical not in self._engines:
-            if engine_spec(canonical).accepts_config:
-                built = make_engine(canonical, self.cluster, config=self.config, backend=self.backend)
-            else:
-                built = make_engine(canonical, self.cluster)
-            self._engines[canonical] = built
-        return self._engines[canonical]
+        with self._lock:
+            self._ensure_open()
+            built = self._engines.get(canonical)
+            if built is None:
+                if engine_spec(canonical).accepts_config:
+                    built = make_engine(
+                        canonical, self.cluster, config=self.config, backend=self.backend
+                    )
+                else:
+                    built = make_engine(canonical, self.cluster)
+                self._engines[canonical] = built
+            return built
 
     # ------------------------------------------------------------------
     # Query execution
@@ -235,47 +291,76 @@ class Session:
 
         ``query`` may be a parsed :class:`SelectQuery`, the name of one of
         the workload's benchmark queries (``session.queries``), or raw SPARQL
-        text.  The cluster's network accounting is reset first, so each
-        result's statistics describe exactly one execution — and the result
-        keeps its own detached copies of the statistics and the shipment
-        breakdown, so a later ``query()`` cannot zero them retroactively.
+        text.  Execution runs under a per-query shipment ledger on the
+        cluster's message bus, so each result's statistics describe exactly
+        one execution — even with other queries in flight on other threads —
+        and the result keeps its own detached copies of the statistics and
+        the shipment breakdown, so a later ``query()`` cannot zero them
+        retroactively.
 
         When the session traces (``repro.open(..., trace=True)``) the
         returned result additionally carries ``result.trace``; the session's
-        :attr:`metrics` registry is updated after every query either way.
+        :attr:`metrics` registry is updated after every query either way —
+        including failures, which finish the trace with an ``error``
+        attribute and count into ``repro_query_failures_total`` before the
+        exception propagates.
         """
         self._ensure_open()
         chosen = self.engine(engine)
+        engine_label = getattr(chosen, "name", str(engine or self.default_engine))
         trace: Optional[Trace] = None
         if self.tracer is not None:
             trace = self.tracer.start_trace(
-                "query",
-                engine=getattr(chosen, "name", str(engine or self.default_engine)),
-                dataset=self.dataset,
+                "query", engine=engine_label, dataset=self.dataset
             )
-            with trace.span("parse", CATEGORY_PLANNING) as span:
-                parsed, resolved_name = self._resolve_query(query)
-                span.set(query_name=query_name or resolved_name or "(inline)")
-        else:
-            parsed, resolved_name = self._resolve_query(query)
-        self.cluster.reset_network()
-        obs_kwargs = {}
-        if getattr(chosen, "supports_tracing", False):
+        try:
             if trace is not None:
-                obs_kwargs["trace"] = trace
-            if self.profiler is not None:
-                obs_kwargs["profiler"] = self.profiler
-        result = chosen.execute(
-            parsed,
-            query_name=query_name or resolved_name,
-            dataset=self.dataset,
-            **obs_kwargs,
-        )
+                with trace.span("parse", CATEGORY_PLANNING) as span:
+                    parsed, resolved_name = self._resolve_query(query)
+                    span.set(query_name=query_name or resolved_name or "(inline)")
+            else:
+                parsed, resolved_name = self._resolve_query(query)
+            cache_key = None
+            if self.result_cache is not None:
+                canonical = (
+                    resolve_engine_name(engine) if engine is not None else self.default_engine
+                )
+                cache_key = result_cache_key(
+                    parsed, engine=canonical, graph_version=self.graph.version
+                )
+                hit = self.result_cache.get(cache_key)
+                if hit is not None:
+                    if trace is not None:
+                        trace.finish(rows=len(hit), cache_hit=True)
+                        hit.trace = trace
+                    return hit
+            obs_kwargs = {}
+            if getattr(chosen, "supports_tracing", False):
+                if trace is not None:
+                    obs_kwargs["trace"] = trace
+                if self.profiler is not None:
+                    obs_kwargs["profiler"] = self.profiler
+            with self.cluster.bus.ledger() as ledger:
+                result = chosen.execute(
+                    parsed,
+                    query_name=query_name or resolved_name,
+                    dataset=self.dataset,
+                    **obs_kwargs,
+                )
+        except BaseException as error:
+            # Exception-safe finalization: the trace must not leak an open
+            # span tree, and the failure must leave a metrics footprint.
+            if trace is not None:
+                trace.finish(error=f"{type(error).__name__}: {error}")
+            record_query_failure(
+                self.metrics, engine=engine_label, backend=self.backend.name
+            )
+            raise
         if trace is not None and not obs_kwargs:
             # Engines outside the tracing contract still yield a trace:
             # replay their statistics into synthesized spans.
             record_statistics_spans(trace, result.statistics)
-        shipment = self.cluster.bus.snapshot()
+        shipment = ledger.snapshot()
         result.detach_statistics()
         result.shipment = shipment
         if trace is not None:
@@ -288,9 +373,51 @@ class Session:
             engine=getattr(chosen, "name", ""),
             backend=self.backend.name,
             pool_size=getattr(self.backend, "max_workers", 1) or 1,
-            encoded_rebuilds=encoded_rebuilds(),
+            encoded_rebuilds=encoded_rebuilds() - self._rebuilds_at_open,
         )
+        if cache_key is not None:
+            self.result_cache.put(cache_key, result)
         return result
+
+    def query_many(
+        self,
+        queries: Iterable[Union[str, SelectQuery]],
+        *,
+        engine: Optional[str] = None,
+    ) -> QueryBatch:
+        """Execute a batch of queries and return results plus a per-query report.
+
+        The batch amortizes what single calls pay per query: every input is
+        parsed up front, and for planning engines the coordinator planner
+        (graph statistics + plan cache) is warmed once before the first
+        execution instead of on its critical path — so repeated templates in
+        the batch plan from the shared cache.  Execution itself runs through
+        :meth:`query`, keeping the per-query ledger/trace/metrics contract.
+        """
+        self._ensure_open()
+        resolved = [self._resolve_query(item) for item in queries]
+        canonical = resolve_engine_name(engine) if engine is not None else self.default_engine
+        if engine_spec(canonical).accepts_config and self.config.use_planner:
+            self.planner  # noqa: B018 — warm statistics + plan cache once
+        results: List[Result] = []
+        report: List[Dict[str, object]] = []
+        for parsed, name in resolved:
+            result = self.query(parsed, engine=engine, query_name=name)
+            results.append(result)
+            stats = result.statistics
+            report.append(
+                {
+                    "query_name": name or stats.query_name or "(inline)",
+                    "engine": stats.engine,
+                    "backend": self.backend.name,
+                    "rows": len(result),
+                    "total_time_ms": round(stats.total_time_ms, 3),
+                    "shipped_bytes": result.shipment.total_bytes if result.shipment else 0,
+                    "messages": result.shipment.total_messages if result.shipment else 0,
+                    "cache_hit": result.cache_hit,
+                }
+            )
+        return QueryBatch(results, report)
 
     def explain(self, query: Union[str, SelectQuery]) -> str:
         """The cost-based plan for ``query`` (per connected component), as text."""
@@ -320,14 +447,31 @@ class Session:
         return self._closed
 
     def close(self) -> None:
-        """Close every engine the session created and shut its pools down."""
-        if self._closed:
-            return
-        self._closed = True
-        for engine in self._engines.values():
-            engine.close()
-        self._engines.clear()
-        self.backend.close()
+        """Close every engine the session created and shut its pools down.
+
+        Every engine gets its ``close()`` call and the backend is shut down
+        even when an engine's close raises — the first such exception is
+        re-raised after the cleanup completes, so a misbehaving engine can
+        no longer leak the session's worker pools.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engines = list(self._engines.values())
+            self._engines.clear()
+        first_error: Optional[BaseException] = None
+        try:
+            for engine in engines:
+                try:
+                    engine.close()
+                except BaseException as error:
+                    if first_error is None:
+                        first_error = error
+        finally:
+            self.backend.close()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "Session":
         return self
@@ -356,6 +500,7 @@ def open_session(
     network: Optional[NetworkModel] = None,
     trace: bool = False,
     profile: Optional[bool] = None,
+    result_cache: int = 0,
     **config_options,
 ) -> Session:
     """Open a :class:`Session` over one of the bundled workloads.
@@ -366,10 +511,11 @@ def open_session(
     assignment).  ``engine`` is any :func:`~repro.api.make_engine` registry
     name; ``executor``/``workers`` select the per-site fan-out backend;
     ``trace=True`` turns on per-query tracing (results gain ``.trace``) and
-    ``profile=True`` per-stage profiling (see :mod:`repro.obs`); any
-    extra keyword becomes an :class:`EngineConfig` option
-    (``use_lec_pruning=False``, ...).  This function is re-exported as
-    ``repro.open``.
+    ``profile=True`` per-stage profiling (see :mod:`repro.obs`);
+    ``result_cache=N`` enables the opt-in session result cache (N entries,
+    see :mod:`repro.api.cache`); any extra keyword becomes an
+    :class:`EngineConfig` option (``use_lec_pruning=False``, ...).  This
+    function is re-exported as ``repro.open``.
     """
     name = dataset.strip()
     strategy = partitioner.strip().lower()
@@ -380,6 +526,7 @@ def open_session(
         config=config,
         trace=trace,
         profile=profile,
+        result_cache=result_cache,
         **config_options,
     )
     if name.lower() in PAPER_EXAMPLE_NAMES:

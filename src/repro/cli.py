@@ -14,7 +14,10 @@ The CLI covers the workflow a downstream user actually runs:
   prints a Prometheus exposition of the run (:mod:`repro.obs`);
 * ``repro explain``   — show the cost-based plan (statistics summary, chosen
   vertex order, per-step estimates) for a query without executing it;
-* ``repro experiment`` — regenerate one of the paper's tables/figures.
+* ``repro experiment`` — regenerate one of the paper's tables/figures;
+* ``repro serve``     — keep one warm session open and answer SPARQL queries
+  over HTTP (``POST /query``, ``GET /healthz``, ``GET /metrics``) with
+  bounded admission and an optional result cache (:mod:`repro.api.serving`).
 
 Every subcommand prints plain text so the tool composes with shell pipelines;
 ``main()`` returns the process exit code and never calls ``sys.exit`` itself,
@@ -185,6 +188,50 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table1", "table2", "table3", "table4", "fig9", "fig10", "fig11", "fig12"),
     )
     experiment.add_argument("--sites", type=int, default=6)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve SPARQL queries over HTTP from one warm session"
+    )
+    serve.add_argument("--dataset", default="paper", help="bundled workload to open (default: paper)")
+    serve.add_argument("--scale", type=int, default=None, help="dataset scale factor")
+    serve.add_argument("--sites", type=int, default=None, help="number of fragments/sites")
+    serve.add_argument(
+        "--partitioner",
+        choices=("hash", "semantic_hash", "metis", "paper"),
+        default="hash",
+    )
+    serve.add_argument(
+        "--engine",
+        default="gstored",
+        help="default evaluator for requests that do not name one",
+    )
+    serve.add_argument(
+        "--executor",
+        default=None,
+        help=f"execution backend for the per-site fan-out, one of: {', '.join(EXECUTOR_CHOICES)}",
+    )
+    serve.add_argument("--workers", type=int, default=None, help="worker pool size for the fan-out")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="TCP port to bind (0 picks a free one)")
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="queries allowed to execute concurrently (default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="queries allowed to wait for a slot before new ones are rejected "
+        "with HTTP 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=0,
+        help="enable the session result cache with N entries (default: off)",
+    )
 
     return parser
 
@@ -446,12 +493,62 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    workers = _validated_workers(args)
+    executor = _requested_executor(args, workers)
+    if args.result_cache < 0:
+        raise ValueError(f"--result-cache must be >= 0, got {args.result_cache}")
+    from .api import QueryServer, open_session
+
+    open_kwargs = dict(
+        partitioner=args.partitioner,
+        engine=args.engine,
+        executor=executor,
+        workers=workers,
+        result_cache=args.result_cache,
+    )
+    if args.scale is not None:
+        open_kwargs["scale"] = args.scale
+    if args.sites is not None:
+        open_kwargs["sites"] = args.sites
+    session = open_session(args.dataset, **open_kwargs)
+    try:
+        # No context manager here: ``with`` would start the background
+        # serving thread and serve_forever() would run a second accept loop
+        # on the same socket — the CLI serves on this thread alone.
+        server = QueryServer(
+            session,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+        )
+        host, port = server.address
+        print(
+            f"serving {session.dataset} on http://{host}:{port} "
+            f"(engine={session.default_engine}, executor={session.backend.name}, "
+            f"max_inflight={args.max_inflight}, max_queue={args.max_queue}, "
+            f"result_cache={args.result_cache})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            server.shutdown()
+    finally:
+        session.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "partition": _cmd_partition,
     "query": _cmd_query,
     "explain": _cmd_explain,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
 }
 
 

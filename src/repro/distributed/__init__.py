@@ -11,6 +11,7 @@ from .network import (
     NetworkModel,
     PlatformModel,
     SPARK_SQL_PLATFORM,
+    ShipmentLedger,
     ShipmentSnapshot,
     StageTimer,
     estimate_size,
@@ -30,6 +31,7 @@ __all__ = [
     "PlatformModel",
     "QueryStatistics",
     "SPARK_SQL_PLATFORM",
+    "ShipmentLedger",
     "ShipmentSnapshot",
     "Site",
     "StageStats",

@@ -10,6 +10,7 @@ comparisons happen over identical data placement.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, Iterator, List, Optional
 
@@ -35,6 +36,7 @@ class Cluster:
         #: Cost model used by every engine to convert shipped bytes into time.
         self.network = network if network is not None else NetworkModel()
         self._coordinator_planner: Optional[QueryPlanner] = None
+        self._planner_lock = threading.Lock()
         # Stage timers of engines executing on this cluster (weakly held, so
         # a finished engine's timers can be collected); reset_network() clears
         # them alongside the bus to keep back-to-back runs independent.
@@ -104,13 +106,19 @@ class Cluster:
 
         Owned by the cluster (not the engine) so its plan cache survives
         across queries and across engine instances — repeated query shapes
-        skip optimization no matter how the caller drives the engine.
+        skip optimization no matter how the caller drives the engine.  The
+        lazy build is lock-guarded: concurrent queries on one session must
+        share a single planner (and its cache), not race to build two.
         """
-        if self._coordinator_planner is None or self._coordinator_planner.cache.maxsize != plan_cache_size:
-            self._coordinator_planner = QueryPlanner(
-                self.graph_statistics(backend), cache_size=plan_cache_size
-            )
-        return self._coordinator_planner
+        with self._planner_lock:
+            if (
+                self._coordinator_planner is None
+                or self._coordinator_planner.cache.maxsize != plan_cache_size
+            ):
+                self._coordinator_planner = QueryPlanner(
+                    self.graph_statistics(backend), cache_size=plan_cache_size
+                )
+            return self._coordinator_planner
 
     # ------------------------------------------------------------------
     # Bookkeeping

@@ -138,6 +138,62 @@ class ShipmentSnapshot:
     bytes_by_kind: Dict[str, int]
 
 
+def _summarize(messages: List[Message]) -> ShipmentSnapshot:
+    """Fold a message log into an immutable :class:`ShipmentSnapshot`."""
+    bytes_by_stage: Dict[str, int] = {}
+    messages_by_stage: Dict[str, int] = {}
+    bytes_by_kind: Dict[str, int] = {}
+    total = 0
+    for message in messages:
+        total += message.size_bytes
+        bytes_by_stage[message.stage] = bytes_by_stage.get(message.stage, 0) + message.size_bytes
+        messages_by_stage[message.stage] = messages_by_stage.get(message.stage, 0) + 1
+        bytes_by_kind[message.kind] = bytes_by_kind.get(message.kind, 0) + message.size_bytes
+    return ShipmentSnapshot(
+        total_bytes=total,
+        total_messages=len(messages),
+        bytes_by_stage=bytes_by_stage,
+        messages_by_stage=messages_by_stage,
+        bytes_by_kind=bytes_by_kind,
+    )
+
+
+class ShipmentLedger:
+    """Message accounting scoped to one query execution.
+
+    Opened with :meth:`MessageBus.ledger`.  While a ledger is active on a
+    thread, every message that thread sends through the bus is recorded here
+    *instead of* the bus's global log, so concurrent queries over one cluster
+    never see each other's shipment — and never need the global
+    ``reset()``/``snapshot()`` window that made back-to-back accounting racy.
+
+    A ledger is thread-confined by construction: the bus routes a send to the
+    ledger only from the thread that opened it, and engines issue every send
+    from the serial merge on the thread driving ``execute()`` (the
+    determinism contract of :mod:`repro.exec.backend`).  No lock is needed.
+    """
+
+    __slots__ = ("messages",)
+
+    def __init__(self) -> None:
+        self.messages: List[Message] = []
+
+    def record(self, message: Message) -> None:
+        self.messages.append(message)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(message.size_bytes for message in self.messages)
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    def snapshot(self) -> ShipmentSnapshot:
+        """Summarize the ledger into an immutable :class:`ShipmentSnapshot`."""
+        return _summarize(self.messages)
+
+
 @dataclass
 class MessageBus:
     """Records every message sent between sites / the coordinator.
@@ -151,18 +207,56 @@ class MessageBus:
 
     messages: List[Message] = field(default_factory=list)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False, compare=False)
+    #: Active per-query ledgers, a stack per sending thread (see
+    #: :meth:`ledger`); guarded by ``_lock`` like the global log.
+    _ledgers: Dict[int, List[ShipmentLedger]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def send(self, source: int, destination: int, kind: str, payload: Any, stage: str = "") -> int:
-        """Record a message and return its estimated size in bytes."""
+        """Record a message and return its estimated size in bytes.
+
+        When the sending thread has an open :class:`ShipmentLedger` (see
+        :meth:`ledger`) the message is charged to that ledger instead of the
+        global log, scoping the accounting to the query that opened it.
+        """
         size = estimate_size(payload)
+        message = Message(source, destination, kind, size, stage)
         with self._lock:
-            self.messages.append(Message(source, destination, kind, size, stage))
+            stack = self._ledgers.get(threading.get_ident())
+            ledger = stack[-1] if stack else None
+            if ledger is None:
+                self.messages.append(message)
+        if ledger is not None:
+            ledger.record(message)
         return size
 
     def broadcast(self, source: int, destinations: List[int], kind: str, payload: Any, stage: str = "") -> int:
         """Send the same payload to every destination; return the total bytes."""
+        return sum(self.send(source, destination, kind, payload, stage) for destination in destinations)
+
+    @contextmanager
+    def ledger(self) -> Iterator[ShipmentLedger]:
+        """Scope this thread's sends to a fresh :class:`ShipmentLedger`.
+
+        Nested ledgers stack (the innermost wins); other threads' sends — and
+        this thread's sends outside the ``with`` block — keep hitting the
+        global log, so engine-level callers that read the bus directly are
+        unaffected.
+        """
+        opened = ShipmentLedger()
+        ident = threading.get_ident()
         with self._lock:
-            return sum(self.send(source, destination, kind, payload, stage) for destination in destinations)
+            self._ledgers.setdefault(ident, []).append(opened)
+        try:
+            yield opened
+        finally:
+            with self._lock:
+                stack = self._ledgers.get(ident, [])
+                if opened in stack:
+                    stack.remove(opened)
+                if not stack:
+                    self._ledgers.pop(ident, None)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -195,26 +289,8 @@ class MessageBus:
     def snapshot(self) -> ShipmentSnapshot:
         """Summarize the current log into an immutable :class:`ShipmentSnapshot`."""
         with self._lock:
-            bytes_by_stage: Dict[str, int] = {}
-            messages_by_stage: Dict[str, int] = {}
-            bytes_by_kind: Dict[str, int] = {}
-            total = 0
-            for message in self.messages:
-                total += message.size_bytes
-                bytes_by_stage[message.stage] = (
-                    bytes_by_stage.get(message.stage, 0) + message.size_bytes
-                )
-                messages_by_stage[message.stage] = messages_by_stage.get(message.stage, 0) + 1
-                bytes_by_kind[message.kind] = (
-                    bytes_by_kind.get(message.kind, 0) + message.size_bytes
-                )
-            return ShipmentSnapshot(
-                total_bytes=total,
-                total_messages=len(self.messages),
-                bytes_by_stage=bytes_by_stage,
-                messages_by_stage=messages_by_stage,
-                bytes_by_kind=bytes_by_kind,
-            )
+            messages = list(self.messages)
+        return _summarize(messages)
 
     def reset(self) -> None:
         with self._lock:

@@ -142,13 +142,18 @@ class ThreadPoolBackend(ExecutorBackend):
             raise ValueError(f"max_workers must be >= 1, got {workers}")
         self.max_workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Lazy creation is lock-guarded: concurrent queries sharing one
+        # session share one backend, and a check-then-create race would leak
+        # a second pool.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix="repro-site"
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-site"
+                )
+            return self._pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
@@ -159,9 +164,10 @@ class ThreadPoolBackend(ExecutorBackend):
         return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class ProcessPoolBackend(ExecutorBackend):
@@ -194,6 +200,10 @@ class ProcessPoolBackend(ExecutorBackend):
         #: cluster can never alias a new one at the same address.
         self._bound_cluster: Optional["weakref.ref"] = None
         self._bound_options: Optional[Tuple[Tuple[str, object], ...]] = None
+        # Guards pool creation/bind/close as one unit: concurrent queries on
+        # one session must agree on a single bootstrapped pool.  Re-entrant
+        # because _bind_cluster calls close().
+        self._pool_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Pool management
@@ -250,11 +260,12 @@ class ProcessPoolBackend(ExecutorBackend):
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """A pool without site bootstrap, for plain :meth:`map` batches."""
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=self._mp_context()
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=self._mp_context()
+                )
+            return self._pool
 
     def _bind_cluster(self, cluster, site_options: Optional[Mapping[str, object]]) -> None:
         """Make sure the pool's workers are bootstrapped for ``cluster``.
@@ -267,19 +278,20 @@ class ProcessPoolBackend(ExecutorBackend):
         from .worker import WorkerBootstrap, initialize_worker, default_site_options
 
         options = tuple(sorted({**default_site_options(), **(site_options or {})}.items()))
-        bound = self._bound_cluster() if self._bound_cluster is not None else None
-        if self._pool is not None and bound is cluster and self._bound_options == options:
-            return
-        self.close()
-        bootstrap = WorkerBootstrap.from_cluster(cluster, **dict(options))
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            mp_context=self._mp_context(),
-            initializer=initialize_worker,
-            initargs=(bootstrap,),
-        )
-        self._bound_cluster = weakref.ref(cluster)
-        self._bound_options = options
+        with self._pool_lock:
+            bound = self._bound_cluster() if self._bound_cluster is not None else None
+            if self._pool is not None and bound is cluster and self._bound_options == options:
+                return
+            self.close()
+            bootstrap = WorkerBootstrap.from_cluster(cluster, **dict(options))
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=self._mp_context(),
+                initializer=initialize_worker,
+                initargs=(bootstrap,),
+            )
+            self._bound_cluster = weakref.ref(cluster)
+            self._bound_options = options
 
     # ------------------------------------------------------------------
     # ExecutorBackend API
@@ -305,15 +317,18 @@ class ProcessPoolBackend(ExecutorBackend):
             site_of = {site.site_id: site for site in cluster}
             return [execute_site_task(task, site_of[task.site_id]) for task in tasks]
         self._bind_cluster(cluster, site_options)
-        assert self._pool is not None
-        return list(self._pool.map(execute_site_task, tasks))
+        with self._pool_lock:
+            pool = self._pool
+        assert pool is not None
+        return list(pool.map(execute_site_task, tasks))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        self._bound_cluster = None
-        self._bound_options = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._bound_cluster = None
+            self._bound_options = None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         # Engines own their backends and close() them, but test code that

@@ -24,7 +24,9 @@ tasks ever touching shared state.
 from __future__ import annotations
 
 import os
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
@@ -137,6 +139,25 @@ def _resolve_handler(stage: str) -> Callable[[Any, Mapping[str, Any]], Any]:
         raise LookupError(f"no site task registered as {stage!r} (known: {known})") from None
 
 
+#: Per-site execution locks: stage handlers read work counters off the
+#: site's store *after* evaluating (``site.store.matcher.search_steps``), so
+#: two concurrent queries hammering the same site would interleave those
+#: counters.  Within one query the per-site fan-out targets distinct sites —
+#: distinct locks — so this serializes nothing the backends parallelize;
+#: across queries it makes each site's handler runs atomic.  Keyed weakly so
+#: a dropped cluster's sites don't pin their locks.
+_SITE_LOCKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SITE_LOCKS_GUARD = threading.Lock()
+
+
+def _site_lock(site: Any) -> threading.RLock:
+    with _SITE_LOCKS_GUARD:
+        lock = _SITE_LOCKS.get(site)
+        if lock is None:
+            lock = _SITE_LOCKS[site] = threading.RLock()
+        return lock
+
+
 def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskResult:
     """Run ``task`` against ``site`` and return its timed result.
 
@@ -144,15 +165,20 @@ def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskRes
     worker registry (:func:`repro.exec.worker.resolve_site`) — the process-pool
     path, where this function is the picklable top-level entry point every
     worker executes.  In-process backends pass the live site explicitly.
+
+    Handler runs are serialized per site (see :data:`_SITE_LOCKS`); the lock
+    is taken *before* the timing starts, so waiting on a concurrent query
+    never inflates this task's measured compute time.
     """
     if site is None:
         from . import worker
 
         site = worker.resolve_site(task.site_id)
     handler = _resolve_handler(task.stage)
-    started = time.perf_counter()
-    value = handler(site, task.payload)
-    ended = time.perf_counter()
+    with _site_lock(site):
+        started = time.perf_counter()
+        value = handler(site, task.payload)
+        ended = time.perf_counter()
     span = None
     if task.trace is not None:
         span = TaskSpan(

@@ -29,6 +29,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     record_query,
+    record_query_failure,
 )
 from .profiling import PROFILE_ENV, StageProfiler
 from .trace import (
@@ -62,6 +63,7 @@ __all__ = [
     "Trace",
     "Tracer",
     "record_query",
+    "record_query_failure",
     "record_statistics_spans",
     "stage_scope",
     "validate_chrome_trace",

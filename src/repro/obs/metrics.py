@@ -346,3 +346,19 @@ def record_query(
             "Configured worker-pool size of the session's executor backend.",
             backend=backend,
         ).set(pool_size)
+
+
+def record_query_failure(registry: MetricsRegistry, *, engine: str = "", backend: str = "") -> None:
+    """Count one query that raised instead of returning a result.
+
+    The exception-path twin of :func:`record_query`: the session layer calls
+    it from the ``except`` arm of ``Session.query()`` so failed executions
+    still leave a metrics footprint (``repro_query_failures_total``) instead
+    of silently vanishing from the scrape.
+    """
+    registry.counter(
+        "repro_query_failures_total",
+        "Queries that raised instead of returning a result, by engine.",
+        engine=engine or "unknown",
+        backend=backend or "unknown",
+    ).inc()

@@ -276,6 +276,12 @@ class EncodedGraph:
 _REBUILDS = 0
 _REBUILDS_LOCK = threading.Lock()
 
+#: Serializes cache-miss rebuilds in :func:`encoded_view`: two queries
+#: hitting a cold graph concurrently must share one build (and count one
+#: rebuild), not race to construct two.  Builds are rare — one per graph
+#: version — so a single global lock costs nothing measurable.
+_BUILD_LOCK = threading.Lock()
+
 
 def encoded_rebuilds() -> int:
     """How many ``EncodedGraph`` builds this process has performed so far.
@@ -300,9 +306,13 @@ def encoded_view(graph: RDFGraph) -> EncodedGraph:
     cached = getattr(graph, _CACHE_ATTRIBUTE, None)
     if cached is not None and cached[0] == graph.version:
         return cached[1]
-    encoded = EncodedGraph(graph)
-    setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
-    global _REBUILDS
-    with _REBUILDS_LOCK:
-        _REBUILDS += 1
-    return encoded
+    with _BUILD_LOCK:
+        cached = getattr(graph, _CACHE_ATTRIBUTE, None)
+        if cached is not None and cached[0] == graph.version:
+            return cached[1]
+        encoded = EncodedGraph(graph)
+        setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
+        global _REBUILDS
+        with _REBUILDS_LOCK:
+            _REBUILDS += 1
+        return encoded

@@ -1,0 +1,182 @@
+"""Determinism of one shared :class:`~repro.api.Session` under parallel queries.
+
+The serving layer's contract (``docs/serving.md``) is that a query returns
+the same answers, the same deterministic statistics and the same shipment
+breakdown whether it ran alone or next to other queries on other threads.
+These tests pin that contract: a serial re-run of every workload query is
+fingerprinted first, then a thread storm re-runs them concurrently on the
+same session — over every executor backend — and every concurrent result
+must match its serial fingerprint bit for bit.
+
+Timing fields are deliberately *outside* the fingerprint (wall-clock time is
+scheduling-dependent by nature); everything else — rows, work counters,
+per-stage shipment and message counts, the per-query ledger snapshot — is in.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+
+EXAMPLE_SPARQL = (
+    "PREFIX ex: <http://example.org/> "
+    'SELECT ?p2 ?l WHERE { ?t ex:label ?l . ?p1 ex:influencedBy ?p2 . '
+    '?p2 ex:mainInterest ?t . ?p1 ex:name "Crispin Wright"@en . }'
+)
+STAR_SPARQL = (
+    "PREFIX ex: <http://example.org/> "
+    "SELECT ?p ?t WHERE { ?p ex:mainInterest ?t . ?p ex:bornIn ?c . }"
+)
+QUERIES = {"example": EXAMPLE_SPARQL, "star": STAR_SPARQL}
+
+#: (executor, workers) grid pinned by the acceptance criteria.
+BACKENDS = [
+    ("serial", None),
+    ("threads", 1),
+    ("threads", 2),
+    ("threads", 8),
+    ("processes", 1),
+    ("processes", 2),
+    ("processes", 8),
+]
+
+
+def fingerprint(result):
+    """Every deterministic field of a result — no wall-clock anywhere."""
+    stats = result.statistics
+    stages = tuple(
+        (
+            stage.name,
+            stage.shipped_bytes,
+            stage.messages,
+            tuple(sorted(stage.counters.items())),
+        )
+        for stage in stats.stages
+    )
+    shipment = result.shipment
+    ledger = (
+        shipment.total_bytes,
+        shipment.total_messages,
+        tuple(sorted(shipment.bytes_by_stage.items())),
+        tuple(sorted(shipment.messages_by_stage.items())),
+        tuple(sorted(shipment.bytes_by_kind.items())),
+    )
+    return (
+        tuple(result.sorted_rows()),
+        stats.num_results,
+        tuple(sorted(stats.work.items())),
+        stages,
+        ledger,
+    )
+
+
+@pytest.mark.parametrize(("executor", "workers"), BACKENDS)
+def test_concurrent_results_match_the_serial_rerun(executor, workers):
+    kwargs = {"executor": executor} if workers is None else {
+        "executor": executor,
+        "workers": workers,
+    }
+    with repro.open(dataset="paper", **kwargs) as session:
+        # Warm-up: the first execution of each query populates the plan
+        # cache, so plan_cache counters are identical for every later run.
+        for text in QUERIES.values():
+            session.query(text)
+        serial = {name: fingerprint(session.query(text)) for name, text in QUERIES.items()}
+
+        def storm(thread_index):
+            name = list(QUERIES)[thread_index % len(QUERIES)]
+            return name, fingerprint(session.query(QUERIES[name]))
+
+        with ThreadPoolExecutor(max_workers=8, thread_name_prefix="storm") as pool:
+            outcomes = list(pool.map(storm, range(16)))
+    for name, concurrent_fingerprint in outcomes:
+        assert concurrent_fingerprint == serial[name]
+
+
+def test_concurrent_mixed_engines_match_their_serial_reruns():
+    """gStoreD, the centralized matcher and a baseline share one session."""
+    engines = ("gstored", "centralized", "dream")
+    with repro.open(dataset="paper", executor="threads", workers=2) as session:
+        for engine in engines:
+            session.query("example", engine=engine)  # warm plan + engine caches
+        serial = {
+            engine: fingerprint(session.query("example", engine=engine))
+            for engine in engines
+        }
+
+        def storm(thread_index):
+            engine = engines[thread_index % len(engines)]
+            return engine, fingerprint(session.query("example", engine=engine))
+
+        with ThreadPoolExecutor(max_workers=6, thread_name_prefix="mixed") as pool:
+            outcomes = list(pool.map(storm, range(18)))
+    answers = {engine: print_rows for engine, (print_rows, *_rest) in serial.items()}
+    assert len(set(answers.values())) == 1  # all three engines agree on the query
+    for engine, concurrent_fingerprint in outcomes:
+        assert concurrent_fingerprint == serial[engine]
+
+
+def test_shipment_ledger_isolates_overlapping_queries():
+    """Two in-flight queries never see each other's messages.
+
+    A barrier forces both threads to be inside ``session.query`` at the same
+    time; each result's ledger snapshot must equal the single-query shipment.
+    """
+    with repro.open(dataset="paper", executor="threads", workers=2) as session:
+        session.query("example")
+        alone = session.query("example")
+        barrier = threading.Barrier(2, timeout=30)
+        results = {}
+
+        def run(slot):
+            barrier.wait()
+            results[slot] = session.query("example")
+
+        threads = [threading.Thread(target=run, args=(slot,)) for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    for result in results.values():
+        assert result.shipment.total_bytes == alone.shipment.total_bytes
+        assert result.shipment.total_messages == alone.shipment.total_messages
+        assert result.statistics.total_shipment_bytes == alone.statistics.total_shipment_bytes
+
+
+class TestResultCacheUnderMutation:
+    def test_graph_mutation_invalidates_cached_results(self):
+        from repro.rdf import IRI, Literal, Triple
+
+        with repro.open(dataset="paper", result_cache=8) as session:
+            miss = session.query("example")
+            hit = session.query("example")
+            assert miss.cache_hit is False
+            assert hit.cache_hit is True
+            assert hit.sorted_rows() == miss.sorted_rows()
+            assert session.result_cache.describe()["hits"] == 1
+
+            # Any successful mutation bumps RDFGraph.version, which is part
+            # of the cache key — the next query must execute, not hit.
+            ex = "http://example.org/"
+            assert session.graph.add(
+                Triple(IRI(ex + "NewPhilosopher"), IRI(ex + "name"), Literal("New", language="en"))
+            )
+            after = session.query("example")
+            assert after.cache_hit is False
+            assert after.sorted_rows() == miss.sorted_rows()
+            assert session.result_cache.describe()["misses"] == 2
+
+    def test_cache_hits_are_correct_under_concurrency(self):
+        with repro.open(dataset="paper", result_cache=8, executor="threads", workers=2) as session:
+            baseline = session.query("example")
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(lambda _: session.query("example"), range(16)))
+            assert all(r.sorted_rows() == baseline.sorted_rows() for r in results)
+            assert all(r.cache_hit for r in results)
+            # A hit's statistics stay detached: mutating one result's copy
+            # cannot leak into another's.
+            results[0].statistics.num_results = -1
+            assert results[1].statistics.num_results == baseline.statistics.num_results

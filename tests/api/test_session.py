@@ -1,10 +1,12 @@
 """Tests for the :class:`repro.api.Session` facade and ``repro.open``."""
 
+import threading
+
 import pytest
 
 import repro
 from repro import EngineConfig, Session
-from repro.api import Result
+from repro.api import QueryBatch, Result
 from repro.datasets.paper_example import build_example_partitioning, example_query
 
 EXAMPLE_SPARQL = (
@@ -131,6 +133,138 @@ class TestQuery:
             hits_before = session.planner.cache.hits
             session.query("example")
             assert session.planner.cache.hits > hits_before
+
+
+class TestEngineConstructionRace:
+    def test_concurrent_engine_calls_build_exactly_once(self, monkeypatch):
+        """Regression: the old unlocked check-then-insert could build the
+        same engine twice, leaking the loser unclosed."""
+        import repro.api.session as session_module
+
+        real_make_engine = session_module.make_engine
+        builds = []
+        build_gate = threading.Barrier(8, timeout=30)
+
+        def counting_make_engine(name, *args, **kwargs):
+            builds.append(name)
+            return real_make_engine(name, *args, **kwargs)
+
+        monkeypatch.setattr(session_module, "make_engine", counting_make_engine)
+        with repro.open(dataset="paper") as session:
+            engines = []
+
+            def grab():
+                build_gate.wait()  # maximize the overlap window
+                engines.append(session.engine("dream"))
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert builds.count("dream") == 1
+            assert len({id(engine) for engine in engines}) == 1
+
+
+class TestFailureFinalization:
+    class _ExplodingEngine:
+        name = "exploding"
+        supports_tracing = False
+
+        def execute(self, *args, **kwargs):
+            raise RuntimeError("boom in the engine")
+
+        def close(self):
+            pass
+
+    def test_failed_query_finishes_the_trace_and_counts_the_failure(self):
+        with repro.open(dataset="paper", trace=True) as session:
+            session._engines["gstored"] = self._ExplodingEngine()
+            with pytest.raises(RuntimeError, match="boom in the engine"):
+                session.query("example")
+            trace = session.tracer.last
+            assert trace is not None
+            assert "RuntimeError: boom in the engine" in trace.root.attrs["error"]
+            assert trace.duration_s >= 0.0  # root span is closed, not leaked
+            failures = session.metrics.snapshot()["repro_query_failures_total"]
+            assert sum(failures["series"].values()) == 1
+            assert "engine=exploding" in str(list(failures["series"]))
+
+    def test_failure_metrics_work_without_tracing(self):
+        with repro.open(dataset="paper") as session:
+            session._engines["gstored"] = self._ExplodingEngine()
+            with pytest.raises(RuntimeError, match="boom"):
+                session.query("example")
+            assert "repro_query_failures_total" in session.metrics.prometheus_text()
+
+    def test_close_shuts_the_backend_down_even_when_an_engine_close_raises(self):
+        class _BadCloseEngine:
+            name = "bad-close"
+
+            def close(self):
+                raise RuntimeError("close failed")
+
+        session = repro.open(dataset="paper", executor="threads", workers=2)
+        session.query("example")  # warms the pool
+        session._engines["bad-close"] = _BadCloseEngine()
+        backend = session.backend
+        with pytest.raises(RuntimeError, match="close failed"):
+            session.close()
+        assert session.closed
+        assert backend._pool is None  # the pool did not leak
+
+
+class TestEncodedRebuildsDelta:
+    def test_record_query_reports_rebuilds_since_open(self):
+        """Regression: the gauge used to absorb the whole process history."""
+
+        def gauge_after_one_query():
+            with repro.open(dataset="paper") as session:
+                session.query("example")
+                snapshot = session.metrics.snapshot()["repro_encoded_graph_rebuilds"]
+                (value,) = snapshot["series"].values()
+                return value
+
+        first = gauge_after_one_query()
+        second = gauge_after_one_query()
+        # Each session reports only its own builds (one per site fragment of
+        # its fresh graph), so the value is identical run after run instead
+        # of climbing with the process-global counter.
+        assert first == second
+
+
+class TestQueryMany:
+    def test_batch_preserves_order_and_reports_per_query(self):
+        with repro.open(dataset="paper") as session:
+            batch = session.query_many(["example", EXAMPLE_SPARQL])
+            assert isinstance(batch, QueryBatch)
+            assert len(batch) == 2
+            assert batch[0].sorted_rows() == batch[1].sorted_rows()
+            assert [entry["query_name"] for entry in batch.report] == ["example", "(inline)"]
+            for entry in batch.report:
+                assert entry["engine"] == "gStoreD"
+                assert entry["backend"] == "serial"
+                assert entry["rows"] == 4
+                assert entry["shipped_bytes"] > 0
+                assert entry["cache_hit"] is False
+
+    def test_batch_warms_the_plan_cache_once(self):
+        with repro.open(dataset="paper") as session:
+            batch = session.query_many(["example", "example", "example"])
+            assert len(batch) == 3
+            # The warmup plus the first execution prime the cache; the later
+            # identical queries plan from it.
+            assert session.planner.cache.hits >= 2
+
+    def test_batch_engine_override_applies_to_every_query(self):
+        with repro.open(dataset="paper") as session:
+            batch = session.query_many(["example"], engine="centralized")
+            assert batch.report[0]["engine"] == "Centralized"
+
+    def test_batch_reports_cache_hits(self):
+        with repro.open(dataset="paper", result_cache=4) as session:
+            batch = session.query_many(["example", "example"])
+            assert [entry["cache_hit"] for entry in batch.report] == [False, True]
 
 
 class TestLifecycle:

@@ -12,6 +12,7 @@ import repro.api
 #: Everything ``repro`` exports — keep sorted.
 REPRO_EXPORTS = [
     "ABLATION_CONFIGS",
+    "AsyncSession",
     "Binding",
     "CentralizedEngine",
     "Cluster",
@@ -35,6 +36,7 @@ REPRO_EXPORTS = [
     "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
+    "QueryServer",
     "QueryStatistics",
     "RDFGraph",
     "Result",
@@ -70,11 +72,17 @@ REPRO_EXPORTS = [
 
 #: Everything ``repro.api`` exports — keep sorted.
 REPRO_API_EXPORTS = [
+    "AdmissionController",
+    "AdmissionError",
+    "AsyncSession",
     "CentralizedEngine",
     "EngineAdapter",
     "EngineSpec",
+    "QueryBatch",
     "QueryEngine",
+    "QueryServer",
     "Result",
+    "ResultCache",
     "STAGE_CENTRALIZED",
     "Session",
     "engine_aliases",
@@ -86,6 +94,7 @@ REPRO_API_EXPORTS = [
     "open_session",
     "register_engine",
     "resolve_engine_name",
+    "result_cache_key",
 ]
 
 #: The engine registry is part of the CLI and docs contract too.

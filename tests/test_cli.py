@@ -543,3 +543,89 @@ class TestExperiment:
         exit_code = main(["experiment", "table2", "--sites", "3"])
         assert exit_code == 0
         assert "YQ3" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_argument_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.dataset == "paper"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_inflight == 4
+        assert args.max_queue == 16
+        assert args.result_cache == 0
+
+    def test_serve_accepts_the_full_option_set(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--dataset", "lubm",
+                "--scale", "1",
+                "--sites", "3",
+                "--partitioner", "metis",
+                "--engine", "gstored",
+                "--executor", "threads",
+                "--workers", "2",
+                "--host", "0.0.0.0",
+                "--port", "0",
+                "--max-inflight", "2",
+                "--max-queue", "1",
+                "--result-cache", "8",
+            ]
+        )
+        assert (args.dataset, args.scale, args.sites) == ("lubm", 1, 3)
+        assert (args.max_inflight, args.max_queue, args.result_cache) == (2, 1, 8)
+
+    def test_serve_rejects_a_negative_result_cache(self, capsys):
+        exit_code = main(["serve", "--result-cache", "-1"])
+        assert exit_code == 2
+        assert "--result-cache" in capsys.readouterr().err
+
+    def test_serve_rejects_contradictory_executor_flags(self, capsys):
+        exit_code = main(["serve", "--executor", "serial", "--workers", "2"])
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_answers_http_queries(self, capsys):
+        """End to end: bind port 0, query over HTTP, shut down cleanly."""
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        import repro.cli as cli_module
+        from repro.api.serving import QueryServer
+
+        started = {}
+        hold = threading.Event()
+        real_serve_forever = QueryServer.serve_forever
+
+        def capturing_serve_forever(self):
+            started["server"] = self
+            hold.set()
+            real_serve_forever(self)
+
+        QueryServer.serve_forever = capturing_serve_forever
+        try:
+            thread = threading.Thread(
+                target=cli_module.main,
+                args=(["serve", "--port", "0", "--result-cache", "4"],),
+                daemon=True,
+            )
+            thread.start()
+            assert hold.wait(timeout=60)
+            server = started["server"]
+            host, port = server.address
+            request = urllib.request.Request(
+                f"http://{host}:{port}/query",
+                data=json.dumps({"query": "example"}).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.loads(response.read())
+            assert body["num_rows"] == 4
+            server.shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        finally:
+            QueryServer.serve_forever = real_serve_forever

@@ -134,6 +134,26 @@ def test_docs_cover_the_observability_surface():
         assert required in text, f"docs/observability.md no longer mentions {required}"
 
 
+def test_docs_cover_the_serving_surface():
+    text = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    for required in (
+        "AsyncSession",
+        "query_many",
+        "result_cache",
+        "QueryServer",
+        "repro serve",
+        "429",
+        "max-inflight",
+        "max-queue",
+        "repro_admission_queue_depth",
+        "repro_admission_rejected_total",
+        "repro_result_cache_hits_total",
+        "repro_result_cache_misses_total",
+        "determinism",
+    ):
+        assert required in text, f"docs/serving.md no longer mentions {required}"
+
+
 def test_docs_cover_every_benchmark_module():
     text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
     for module in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
@@ -147,5 +167,6 @@ def test_readme_points_into_the_docs_tree():
         "docs/execution.md",
         "docs/benchmarks.md",
         "docs/observability.md",
+        "docs/serving.md",
     ):
         assert target in text, f"README.md does not link to {target}"

@@ -66,6 +66,7 @@ from .core import (
 )
 from .distributed import Cluster, QueryStatistics, ShipmentSnapshot, build_cluster
 from .exec import ExecutorBackend, SerialBackend, ThreadPoolBackend, make_backend, run_per_site
+from .faults import FaultPlan, RetryPolicy
 from .obs import MetricsRegistry, StageProfiler, Trace, Tracer
 from .partition import (
     HashPartitioner,
@@ -116,6 +117,7 @@ __all__ = [
     "DistributedResult",
     "EngineConfig",
     "ExecutorBackend",
+    "FaultPlan",
     "GStoreDEngine",
     "GraphStatistics",
     "HashPartitioner",
@@ -138,6 +140,7 @@ __all__ = [
     "RDFGraph",
     "Result",
     "ResultSet",
+    "RetryPolicy",
     "SelectQuery",
     "SemanticHashPartitioner",
     "SerialBackend",

@@ -232,8 +232,8 @@ class EngineSpec:
     accepts_config: bool = False
 
 
-def _gstored_factory(cluster, config, backend):
-    return EngineAdapter(GStoreDEngine(cluster, config, backend=backend))
+def _gstored_factory(cluster, config, backend, faults=None):
+    return EngineAdapter(GStoreDEngine(cluster, config, backend=backend, faults=faults))
 
 
 def _baseline_factory(engine_class):
@@ -358,6 +358,7 @@ def make_engine(
     *,
     config: Optional[EngineConfig] = None,
     backend: Optional[ExecutorBackend] = None,
+    faults=None,
 ) -> QueryEngine:
     """Instantiate any registered evaluator by name over ``cluster``.
 
@@ -366,6 +367,10 @@ def make_engine(
     ``config`` to a fixed-strategy engine is an error, while a ``backend`` is
     silently ignored there — sessions share one pool across whatever engines
     they create.  An injected ``backend`` stays owned by the caller.
+
+    ``faults`` — an optional :class:`~repro.faults.FaultPlan` — arms
+    deterministic fault injection and recovery; like ``config`` it is only
+    meaningful for ``accepts_config`` engines and an error elsewhere.
     """
     spec = engine_spec(name)
     if config is not None and not spec.accepts_config:
@@ -374,4 +379,12 @@ def make_engine(
             f"EngineConfig; engines that do: "
             f"{', '.join(s.name for s in engine_specs() if s.accepts_config)}"
         )
+    if faults is not None:
+        if not spec.accepts_config:
+            raise ValueError(
+                f"engine {spec.name!r} does not support fault injection; "
+                f"engines that do: "
+                f"{', '.join(s.name for s in engine_specs() if s.accepts_config)}"
+            )
+        return spec.factory(cluster, config, backend, faults=faults)
     return spec.factory(cluster, config, backend)

@@ -273,15 +273,18 @@ class _Handler(BaseHTTPRequestHandler):
         server = self._query_server
         if self.path == "/healthz":
             session = server.session
-            self._respond_json(
-                200,
-                {
-                    "status": "ok",
-                    "dataset": session.dataset,
-                    "engine": session.default_engine,
-                    "executor": session.backend.name,
-                },
-            )
+            degraded = getattr(session, "degraded_queries", 0)
+            body: Dict[str, Any] = {
+                # Still HTTP 200 — the server is alive and serving; degraded
+                # means some answers were partial after a site loss.
+                "status": "degraded" if degraded else "ok",
+                "dataset": session.dataset,
+                "engine": session.default_engine,
+                "executor": session.backend.name,
+            }
+            if degraded:
+                body["degraded_queries"] = degraded
+            self._respond_json(200, body)
         elif self.path == "/metrics":
             text = server.session.metrics.prometheus_text()
             self._respond(200, text.encode("utf-8"), "text/plain; version=0.0.4")
@@ -321,17 +324,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_json(500, {"error": f"{type(error).__name__}: {error}"})
             return
         statistics = result.statistics
-        self._respond_json(
-            200,
-            {
-                "rows": result.to_dicts(),
-                "num_rows": len(result),
-                "engine": statistics.engine,
-                "total_time_ms": round(statistics.total_time_ms, 3),
-                "shipped_bytes": result.shipment.total_bytes if result.shipment else 0,
-                "cache_hit": result.cache_hit,
-            },
-        )
+        body = {
+            "rows": result.to_dicts(),
+            "num_rows": len(result),
+            "engine": statistics.engine,
+            "total_time_ms": round(statistics.total_time_ms, 3),
+            "shipped_bytes": result.shipment.total_bytes if result.shipment else 0,
+            "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
+        }
+        if result.degraded:
+            body["missing_sites"] = result.missing_sites
+        self._respond_json(200, body)
 
 
 class QueryServer:

@@ -33,6 +33,7 @@ from ..datasets.registry import DATASETS, get_dataset
 from ..distributed.cluster import Cluster, build_cluster
 from ..distributed.network import NetworkModel
 from ..exec import ExecutorBackend, make_backend
+from ..faults import FaultPlan
 from ..obs import (
     CATEGORY_PLANNING,
     MetricsRegistry,
@@ -141,11 +142,19 @@ class Session:
         trace: bool = False,
         profile: Optional[bool] = None,
         result_cache: int = 0,
+        faults: Optional[FaultPlan] = None,
         **config_options,
     ) -> None:
         self.cluster = cluster
         self.dataset = dataset
         self.scale = scale
+        #: Fault-injection plan applied to every gStoreD-family query of the
+        #: session (``None`` — the default — injects nothing; see
+        #: :mod:`repro.faults` and ``docs/faults.md``).
+        self.faults = faults
+        #: Queries that returned *partial* answers after an unrecoverable
+        #: site loss (``result.degraded``); surfaced by ``/healthz``.
+        self.degraded_queries = 0
         #: Per-query tracer (see :mod:`repro.obs`), or ``None`` when the
         #: session was opened without ``trace=True``.  Each ``query()`` call
         #: starts one trace; the returned result carries it as ``.trace``.
@@ -262,7 +271,11 @@ class Session:
             if built is None:
                 if engine_spec(canonical).accepts_config:
                     built = make_engine(
-                        canonical, self.cluster, config=self.config, backend=self.backend
+                        canonical,
+                        self.cluster,
+                        config=self.config,
+                        backend=self.backend,
+                        faults=self.faults,
                     )
                 else:
                     built = make_engine(canonical, self.cluster)
@@ -375,7 +388,10 @@ class Session:
             pool_size=getattr(self.backend, "max_workers", 1) or 1,
             encoded_rebuilds=encoded_rebuilds() - self._rebuilds_at_open,
         )
-        if cache_key is not None:
+        if result.degraded:
+            with self._lock:
+                self.degraded_queries += 1
+        if cache_key is not None and not result.degraded:
             self.result_cache.put(cache_key, result)
         return result
 
@@ -501,6 +517,7 @@ def open_session(
     trace: bool = False,
     profile: Optional[bool] = None,
     result_cache: int = 0,
+    faults: Optional[FaultPlan] = None,
     **config_options,
 ) -> Session:
     """Open a :class:`Session` over one of the bundled workloads.
@@ -513,7 +530,9 @@ def open_session(
     ``trace=True`` turns on per-query tracing (results gain ``.trace``) and
     ``profile=True`` per-stage profiling (see :mod:`repro.obs`);
     ``result_cache=N`` enables the opt-in session result cache (N entries,
-    see :mod:`repro.api.cache`); any extra keyword becomes an
+    see :mod:`repro.api.cache`); ``faults=FaultPlan.parse(...)`` injects
+    deterministic site failures into every gStoreD-family query (see
+    :mod:`repro.faults` and ``docs/faults.md``); any extra keyword becomes an
     :class:`EngineConfig` option (``use_lec_pruning=False``, ...).  This
     function is re-exported as ``repro.open``.
     """
@@ -527,6 +546,7 @@ def open_session(
         trace=trace,
         profile=profile,
         result_cache=result_cache,
+        faults=faults,
         **config_options,
     )
     if name.lower() in PAPER_EXAMPLE_NAMES:

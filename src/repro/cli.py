@@ -147,6 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the run's metrics in Prometheus text exposition format after the results",
     )
+    query.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        default=None,
+        help="deterministic fault plan, e.g. 'kill:1@partial_evaluation;"
+        "flaky:0@candidate_exchange:2' or 'random:SEED' (gStoreD engine "
+        "family only; see docs/faults.md for the grammar)",
+    )
 
     explain = subparsers.add_parser("explain", help="show the cost-based query plan without executing")
     explain_source = explain.add_mutually_exclusive_group(required=True)
@@ -324,14 +332,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"gStoreD engine family ({', '.join(_LEVELS)}); engine {engine_name!r} "
             "bypasses it (drop --trace, or keep --metrics which works with every engine)"
         )
+    if args.inject_faults and not is_gstored:
+        raise ValueError(
+            "--inject-faults hooks the staged gStoreD pipeline and only applies "
+            f"to the gStoreD engine family ({', '.join(_LEVELS)}); engine "
+            f"{engine_name!r} has no per-site stages to fail"
+        )
     cluster = _load_cluster(args)
     query = parse_query(_read_query_text(args))
+    faults = _resolve_fault_plan(args.inject_faults, cluster) if args.inject_faults else None
 
     if is_gstored:
         config = EngineConfig.for_level(_LEVELS.get(engine_name, OptimizationLevel.FULL))
         if executor is not None:
             config = config.with_executor(executor, workers)
-        engine = make_engine("gstored", cluster, config=config)
+        engine = make_engine("gstored", cluster, config=config, faults=faults)
     else:
         gstored_family = ", ".join(_LEVELS)
         if workers is not None:
@@ -359,6 +374,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"{len(result.results)} solutions ({result.statistics.engine}{runtime})")
     for row in result.results.to_table()[: args.limit]:
         print("  " + ", ".join(f"{key}={value}" for key, value in sorted(row.items())))
+    if faults is not None:
+        work = result.statistics.work
+        print(
+            f"faults: plan [{faults.describe()}] -> "
+            f"retries={int(work.get('task_retries', 0))}, "
+            f"site_failures={int(work.get('site_failures', 0))}, "
+            f"recoveries={int(work.get('site_recoveries', 0))}"
+        )
+        extra = result.statistics.extra
+        if extra.get("degraded"):
+            missing = ", ".join(str(sid) for sid in extra.get("missing_sites", ()))
+            print(f"WARNING: partial results — site(s) {missing} lost unrecoverably")
     if args.show_stats:
         print(format_table([stage.as_dict() for stage in result.statistics.stages]))
         print(
@@ -382,6 +409,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         print(registry.prometheus_text(), end="")
     return 0
+
+
+def _resolve_fault_plan(spec: str, cluster):
+    """Parse ``--inject-faults`` into a :class:`~repro.faults.FaultPlan`.
+
+    ``random:SEED`` draws a survivable random plan over the cluster's actual
+    site ids (which is why resolution waits until the cluster is loaded);
+    anything else goes through the ``KIND:SITE@STAGE`` grammar.
+    """
+    from .faults import FaultPlan
+
+    text = spec.strip()
+    if text.lower().startswith("random:"):
+        seed_text = text.split(":", 1)[1].strip()
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ValueError(
+                f"--inject-faults random:SEED needs an integer seed, got {seed_text!r}"
+            ) from None
+        return FaultPlan.random(seed, sorted(cluster.site_ids))
+    return FaultPlan.parse(text)
 
 
 def _encoded_rebuilds() -> int:

@@ -41,13 +41,14 @@ copy of every site from serialized fragments; see :mod:`repro.exec.worker`.)
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..distributed.cluster import Cluster
 from ..distributed.network import COORDINATOR, StageTimer
 from ..distributed.stats import QueryStatistics
-from ..exec import ExecutorBackend, SiteTask, SiteTaskResult, make_backend
+from ..exec import ExecutorBackend, SiteTask, SiteTaskResult, make_backend, run_site_task
+from ..faults import FaultPlan, RetryPolicy, ShipmentFaultInjector, SiteDownError
 from ..obs import CATEGORY_PLANNING, StageProfiler, Trace, stage_scope
 from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
@@ -73,6 +74,25 @@ STAGE_CANDIDATES = "candidate_exchange"
 STAGE_PARTIAL_EVAL = "partial_evaluation"
 STAGE_PRUNING = "lec_pruning"
 STAGE_ASSEMBLY = "assembly"
+
+
+@dataclass
+class _FaultContext:
+    """Per-``execute()`` fault bookkeeping (never shared across queries).
+
+    The engine object is shared by concurrent queries, so everything the
+    fault layer accumulates during one execution — which sites were lost,
+    how many retries and recoveries happened — lives here and is folded
+    into that execution's :class:`~repro.distributed.QueryStatistics` at
+    the end.  ``plan is None`` for fault-free runs, in which case every
+    counter stays zero and the context is inert.
+    """
+
+    plan: Optional[FaultPlan] = None
+    lost_sites: Set[int] = field(default_factory=set)
+    task_retries: int = 0
+    site_failures: int = 0
+    site_recoveries: int = 0
 
 
 @dataclass
@@ -103,10 +123,21 @@ class GStoreDEngine:
         config: Optional[EngineConfig] = None,
         name: Optional[str] = None,
         backend: Optional[ExecutorBackend] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or EngineConfig.full()
         self.name = name or self.config.label
+        #: Optional fault-injection schedule (see :mod:`repro.faults`): when
+        #: set, every site task carries the plan, transient failures retry
+        #: with ``retry`` (default: the plan's own policy), dead sites are
+        #: rebuilt from their fragment payloads, and unrecoverable losses
+        #: degrade the result instead of aborting the query.  ``None`` — the
+        #: default — leaves the execution path byte-identical to before the
+        #: fault layer existed.
+        self.faults = faults
+        self.retry = retry if retry is not None else (faults.retry if faults else None)
         #: How per-site stage bodies are scheduled (see :mod:`repro.exec`).
         #: An explicitly injected backend is *shared*: the caller keeps
         #: ownership and :meth:`close` leaves it running (benchmarks reuse
@@ -140,6 +171,13 @@ class GStoreDEngine:
         """The cluster's site ids in ascending order (the fan-out order)."""
         return sorted(self.cluster.site_ids)
 
+    def _live_site_ids(self, ctx: Optional[_FaultContext]) -> List[int]:
+        """The fan-out order minus the sites this execution has lost."""
+        ids = self._site_ids()
+        if ctx is None or not ctx.lost_sites:
+            return ids
+        return [site_id for site_id in ids if site_id not in ctx.lost_sites]
+
     def _site_options(self) -> Dict[str, object]:
         """Worker-side knobs for process pools (mirrors the sites' planner setup)."""
         return {
@@ -153,6 +191,7 @@ class GStoreDEngine:
         timer: StageTimer,
         stage_name: str,
         trace: Optional[Trace] = None,
+        ctx: Optional[_FaultContext] = None,
     ) -> List[SiteTaskResult]:
         """Fan the task batch out and record each site's measured time.
 
@@ -163,16 +202,75 @@ class GStoreDEngine:
         themselves.  When tracing, the current (stage) span's context is
         stamped onto every task before the fan-out, and the worker-measured
         task spans are folded back into the trace — also here, serially.
+
+        With an active fault plan (``ctx.plan``) the plan and retry policy
+        are stamped onto every task, and failed results are resolved here —
+        still in the serial, ``site_id``-ordered merge, which is what keeps
+        recovery deterministic across backends: a dead-but-recoverable site
+        is rebuilt from its fragment payload and its task re-executed
+        inline, an unrecoverable site is marked lost and its result dropped.
+        Only results that survive (including recovered ones) reach the stage
+        timers — and a retried task contributes the successful attempt's
+        time alone.
         """
         if trace is not None:
             context = trace.current_context()
             tasks = [replace(task, trace=context) for task in tasks]
+        plan = ctx.plan if ctx is not None else None
+        if plan is not None:
+            retry = self.retry if self.retry is not None else plan.retry
+            tasks = [replace(task, faults=plan, retry=retry) for task in tasks]
         results = self.backend.map_site_tasks(tasks, self.cluster, self._site_options())
-        for result in results:
+        merged: List[SiteTaskResult] = []
+        for task, result in zip(tasks, results):
+            result = self._resolve_failure(task, result, ctx)
+            if result is None:
+                continue
+            if ctx is not None and result.attempts > 1:
+                ctx.task_retries += result.attempts - 1
             timer.record(stage_name, result.site_id, result.elapsed_s)
             if trace is not None and result.span is not None:
                 trace.add_task_span(result.span)
-        return results
+            merged.append(result)
+        return merged
+
+    def _resolve_failure(
+        self,
+        task: SiteTask,
+        result: SiteTaskResult,
+        ctx: Optional[_FaultContext],
+    ) -> Optional[SiteTaskResult]:
+        """Turn a failed task result into recovery or degradation.
+
+        Returns the surviving result — the original on success, the
+        recovery re-run's on a recoverable site death — or ``None`` when the
+        site is unrecoverable, in which case it is recorded in
+        ``ctx.lost_sites`` and the caller drops it from the merge.
+        """
+        failure = result.failure
+        if failure is None:
+            return result
+        assert ctx is not None, "task failures only occur under a fault plan"
+        ctx.site_failures += 1
+        ctx.task_retries += result.attempts - 1
+        if not failure.recoverable:
+            ctx.lost_sites.add(result.site_id)
+            return None
+        site = self._rebuild_site(result.site_id)
+        rerun = run_site_task(replace(task, attempt=1, recovery=True), site)
+        if rerun.failure is not None:
+            ctx.lost_sites.add(result.site_id)
+            return None
+        ctx.site_recoveries += 1
+        return rerun
+
+    def _rebuild_site(self, site_id: int):
+        """Re-bootstrap a dead site from its fragment payload, in place."""
+        return self.cluster.rebuild_site(
+            site_id,
+            use_planner=self.config.use_planner,
+            plan_cache_size=self.config.plan_cache_size,
+        )
 
     def close(self) -> None:
         """Release the execution backend's worker resources (owned backends only)."""
@@ -231,13 +329,21 @@ class GStoreDEngine:
             # how the star shortcut zeroes the other optimization stages.
             stats.stage(STAGE_PLANNING)
 
-        if self.config.star_shortcut and query_graph.is_star():
-            bindings = self._evaluate_star(query, timer, stats, trace, profiler)
-        else:
-            plan = self._plan_query(query_graph, timer, stats, trace, profiler)
-            bindings = self._evaluate_general(
-                query, query_graph, plan, timer, stats, trace, profiler
-            )
+        ctx = _FaultContext(plan=self.faults)
+        fault_cm = (
+            self.cluster.bus.fault_scope(ShipmentFaultInjector(self.faults))
+            if self.faults is not None
+            else nullcontext()
+        )
+        with fault_cm:
+            if self.config.star_shortcut and query_graph.is_star():
+                bindings = self._evaluate_star(query, timer, stats, ctx, trace, profiler)
+            else:
+                plan = self._plan_query(query_graph, timer, stats, trace, profiler)
+                bindings = self._evaluate_general(
+                    query, query_graph, plan, timer, stats, ctx, trace, profiler
+                )
+        self._finalize_faults(ctx, stats)
 
         results = ResultSet(bindings, query.variables)
         projected = results.project(query.effective_projection, distinct=True)
@@ -246,6 +352,31 @@ class GStoreDEngine:
         stats.extra["query_shape"] = query_graph.classify_shape()
         stats.extra["selective"] = query_graph.has_selective_pattern()
         return DistributedResult(limited, stats)
+
+    def _finalize_faults(self, ctx: _FaultContext, stats: QueryStatistics) -> None:
+        """Fold one execution's fault bookkeeping into its statistics.
+
+        Keys are only written when fault injection was active, so a clean
+        run's work counters and table columns stay byte-identical to the
+        pre-fault-layer engine.  ``work`` carries the recovery counters (not
+        table columns); ``extra`` carries the degradation verdict, which
+        surfaces as ``Result.degraded`` / ``Result.missing_sites`` at the
+        API layer.
+        """
+        if ctx.plan is None:
+            return
+        stats.work["task_retries"] = ctx.task_retries
+        stats.work["site_failures"] = ctx.site_failures
+        stats.work["site_recoveries"] = ctx.site_recoveries
+        if ctx.lost_sites:
+            missing = sorted(ctx.lost_sites)
+            stats.extra["degraded"] = True
+            stats.extra["missing_sites"] = missing
+            stats.extra["warning"] = (
+                "partial results: site(s) "
+                + ", ".join(str(site_id) for site_id in missing)
+                + " lost and unrecoverable; matches needing their fragments are missing"
+            )
 
     # ------------------------------------------------------------------
     # Stage 0: cost-based planning
@@ -303,15 +434,16 @@ class GStoreDEngine:
         query: SelectQuery,
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
         """Evaluate a star query purely locally at every site."""
         stage = stats.stage(STAGE_PARTIAL_EVAL)
-        tasks = local_eval_tasks(self._site_ids(), query)
+        tasks = local_eval_tasks(self._live_site_ids(ctx), query)
         all_bindings: List[Binding] = []
         with stage_scope(trace, profiler, STAGE_PARTIAL_EVAL, star_shortcut=True) as span:
-            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace):
+            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace, ctx):
                 outcome = result.value
                 shipped = self.cluster.bus.send(
                     result.site_id,
@@ -349,20 +481,21 @@ class GStoreDEngine:
         plan: Optional[QueryPlan],
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
         candidate_filter = self._candidate_exchange(
-            query_graph, timer, stats, trace, profiler
+            query_graph, timer, stats, ctx, trace, profiler
         )
         local_bindings, lpms_by_site = self._partial_evaluation(
-            query, query_graph, plan, candidate_filter, timer, stats, trace, profiler
+            query, query_graph, plan, candidate_filter, timer, stats, ctx, trace, profiler
         )
         surviving_by_site = self._lec_pruning(
-            query_graph, lpms_by_site, timer, stats, trace, profiler
+            query_graph, lpms_by_site, timer, stats, ctx, trace, profiler
         )
         crossing_bindings = self._assembly(
-            query_graph, surviving_by_site, timer, stats, trace, profiler
+            query_graph, surviving_by_site, timer, stats, ctx, trace, profiler
         )
         return local_bindings + crossing_bindings
 
@@ -372,17 +505,20 @@ class GStoreDEngine:
         query_graph: QueryGraph,
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> Optional[GlobalCandidateFilter]:
         stage = stats.stage(STAGE_CANDIDATES)
         if not self.config.use_candidate_exchange:
             return None
-        tasks = candidate_vector_tasks(self._site_ids(), query_graph, self.config.bit_vector_bits)
+        tasks = candidate_vector_tasks(
+            self._live_site_ids(ctx), query_graph, self.config.bit_vector_bits
+        )
         per_site_vectors = []
         internal_candidate_total = 0
         with stage_scope(trace, profiler, STAGE_CANDIDATES) as span:
-            for result in self._run_site_tasks(tasks, timer, STAGE_CANDIDATES, trace):
+            for result in self._run_site_tasks(tasks, timer, STAGE_CANDIDATES, trace, ctx):
                 internal_candidate_total += result.value.internal_candidates
                 vectors = result.value.vectors
                 per_site_vectors.append(vectors)
@@ -393,11 +529,15 @@ class GStoreDEngine:
                 stage.messages += 1
             with timer.measure(STAGE_CANDIDATES, COORDINATOR):
                 global_filter = union_site_vectors(per_site_vectors, self.config.bit_vector_bits)
+            # Broadcast to the sites still alive at this point — identical to
+            # the full cluster on a clean run, and a lost site must neither
+            # receive the filter nor be charged for it.
+            destinations = self._live_site_ids(ctx)
             shipped = self.cluster.bus.broadcast(
-                COORDINATOR, self.cluster.site_ids, "global_candidate_filter", global_filter, STAGE_CANDIDATES
+                COORDINATOR, destinations, "global_candidate_filter", global_filter, STAGE_CANDIDATES
             )
             stage.shipped_bytes += shipped
-            stage.messages += self.cluster.num_sites
+            stage.messages += len(destinations)
             if span is not None:
                 span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_CANDIDATES))
@@ -416,13 +556,14 @@ class GStoreDEngine:
         candidate_filter: Optional[GlobalCandidateFilter],
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> Tuple[List[Binding], Dict[int, List[LocalPartialMatch]]]:
         stage = stats.stage(STAGE_PARTIAL_EVAL)
         edge_order = plan.edge_order if plan is not None else None
         tasks = partial_eval_tasks(
-            self._site_ids(),
+            self._live_site_ids(ctx),
             query,
             query_graph,
             edge_order,
@@ -433,7 +574,7 @@ class GStoreDEngine:
         lpms_by_site: Dict[int, List[LocalPartialMatch]] = {}
         filtered_branches = 0
         with stage_scope(trace, profiler, STAGE_PARTIAL_EVAL) as span:
-            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace):
+            for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace, ctx):
                 outcome = result.value
                 local_bindings.extend(outcome.local_matches)
                 lpms_by_site[result.site_id] = outcome.local_partial_matches
@@ -464,6 +605,7 @@ class GStoreDEngine:
         lpms_by_site: Dict[int, List[LocalPartialMatch]],
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> Dict[int, List[LocalPartialMatch]]:
@@ -476,7 +618,7 @@ class GStoreDEngine:
         surviving_by_site: Dict[int, List[LocalPartialMatch]] = {}
         with stage_scope(trace, profiler, STAGE_PRUNING) as span:
             for result in self._run_site_tasks(
-                lec_feature_tasks(lpms_by_site), timer, STAGE_PRUNING, trace
+                lec_feature_tasks(lpms_by_site), timer, STAGE_PRUNING, trace, ctx
             ):
                 classes = result.value
                 classes_by_site[result.site_id] = classes
@@ -488,7 +630,10 @@ class GStoreDEngine:
                 stage.messages += 1
             with timer.measure(STAGE_PRUNING, COORDINATOR):
                 outcome, surviving_features = prune_features(query_graph, features_by_site)
-            for site_id in lpms_by_site:
+            # Iterate the sites that actually reported features: identical to
+            # lpms_by_site on a clean run, but a site lost during the feature
+            # fan-out has no surviving_features entry to ship back.
+            for site_id in sorted(classes_by_site):
                 shipped = self.cluster.bus.send(
                     COORDINATOR, site_id, "surviving_features", list(surviving_features[site_id]), STAGE_PRUNING
                 )
@@ -496,7 +641,7 @@ class GStoreDEngine:
                 stage.messages += 1
 
             filter_tasks = lec_filter_tasks(classes_by_site, surviving_features)
-            for result in self._run_site_tasks(filter_tasks, timer, STAGE_PRUNING, trace):
+            for result in self._run_site_tasks(filter_tasks, timer, STAGE_PRUNING, trace, ctx):
                 surviving_by_site[result.site_id] = result.value
             if span is not None:
                 span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
@@ -520,6 +665,7 @@ class GStoreDEngine:
         lpms_by_site: Dict[int, List[LocalPartialMatch]],
         timer: StageTimer,
         stats: QueryStatistics,
+        ctx: Optional[_FaultContext] = None,
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
@@ -527,9 +673,9 @@ class GStoreDEngine:
         all_lpms: List[LocalPartialMatch] = []
         with stage_scope(trace, profiler, STAGE_ASSEMBLY) as span:
             for site_id, lpms in lpms_by_site.items():
-                shipped = self.cluster.bus.send(
-                    site_id, COORDINATOR, "local_partial_matches", lpms, STAGE_ASSEMBLY
-                )
+                shipped = self._ship_assembly_lpms(site_id, lpms, ctx)
+                if shipped is None:
+                    continue  # site died unrecoverably mid-shipment
                 stage.shipped_bytes += shipped
                 stage.messages += 1
                 all_lpms.extend(lpms)
@@ -544,6 +690,37 @@ class GStoreDEngine:
         stage.add_counter("join_attempts", outcome.join_attempts)
         stage.add_counter("lpm_groups", outcome.groups)
         return outcome.bindings()
+
+    def _ship_assembly_lpms(
+        self,
+        site_id: int,
+        lpms: List[LocalPartialMatch],
+        ctx: Optional[_FaultContext],
+    ) -> Optional[int]:
+        """Ship one site's surviving LPMs to the coordinator, surviving faults.
+
+        A site can die *while shipping* (the bus-level kill of
+        :class:`~repro.faults.ShipmentFaultInjector` fires before any byte is
+        recorded).  Recoverable: rebuild the site and re-send — the retried
+        shipment carries identical bytes, so the ledger matches a clean run;
+        the loop survives a plan scheduling several deaths of the same site
+        (each recoverable entry fires once, so it terminates).  Unrecoverable:
+        mark the site lost and return ``None``; its LPMs never reach the
+        join, exactly as if the machine vanished mid-transfer.
+        """
+        while True:
+            try:
+                return self.cluster.bus.send(
+                    site_id, COORDINATOR, "local_partial_matches", lpms, STAGE_ASSEMBLY
+                )
+            except SiteDownError as error:
+                assert ctx is not None, "shipment faults only occur under a fault plan"
+                ctx.site_failures += 1
+                if not error.recoverable:
+                    ctx.lost_sites.add(site_id)
+                    return None
+                self._rebuild_site(site_id)
+                ctx.site_recoveries += 1
 
 
 def execute_ablation(

@@ -80,6 +80,39 @@ class Cluster:
         """The site whose fragment owns ``vertex`` as an internal vertex."""
         return self._sites[self._partitioned.fragment_of(vertex)]
 
+    def rebuild_site(
+        self,
+        site_id: int,
+        *,
+        use_planner: bool = True,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> Site:
+        """Replace a site with a fresh one rebuilt from its fragment payload.
+
+        The fault-recovery path: when the coordinator detects a site death
+        (:mod:`repro.faults`), it re-bootstraps the site exactly the way a
+        process-pool worker would — the fragment is serialized to its
+        plain-data payload and materialized into a brand-new
+        :class:`~repro.distributed.Site` with fresh indexes and planner —
+        and swaps it into the cluster in place.  The graph data itself is
+        never lost (fragments are the durable unit), so the rebuilt site
+        answers identically to the one it replaces.
+        """
+        from ..exec.worker import build_site
+        from ..partition.serialization import fragment_to_payload
+
+        position = next(
+            (index for index, site in enumerate(self._sites) if site.site_id == site_id),
+            None,
+        )
+        if position is None:
+            known = ", ".join(str(sid) for sid in self.site_ids) or "none"
+            raise LookupError(f"cluster has no site {site_id} (sites: {known})")
+        payload = fragment_to_payload(self._sites[position].fragment)
+        site = build_site(payload, use_planner=use_planner, plan_cache_size=plan_cache_size)
+        self._sites[position] = site
+        return site
+
     def graph_statistics(self, backend: Optional[ExecutorBackend] = None) -> GraphStatistics:
         """Cluster-wide planner statistics, aggregated from the per-site
         summaries (the coordinator's global view of the data distribution).

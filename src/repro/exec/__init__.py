@@ -35,6 +35,7 @@ from .tasks import (
     execute_site_task,
     register_site_task,
     registered_site_tasks,
+    run_site_task,
 )
 from .worker import WorkerBootstrap, initialize_worker, worker_is_initialized
 
@@ -59,5 +60,6 @@ __all__ = [
     "register_site_task",
     "registered_site_tasks",
     "run_per_site",
+    "run_site_task",
     "worker_is_initialized",
 ]

@@ -34,7 +34,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
-from .tasks import PAYLOAD_BOUND_STAGES, SiteTask, SiteTaskResult, execute_site_task
+from .tasks import PAYLOAD_BOUND_STAGES, SiteTask, SiteTaskResult, run_site_task
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -96,11 +96,15 @@ class ExecutorBackend(ABC):
         descriptors to workers bootstrapped with the cluster's fragments
         (``site_options`` carries the worker-side knobs, e.g. planner
         settings).  Results come back in submission order either way.
+
+        Tasks run through :func:`~repro.exec.tasks.run_site_task`, so every
+        backend shares the fault layer's retry/failure semantics; fault-free
+        tasks behave exactly as before.
         """
         del site_options  # only process workers need bootstrap options
         tasks = list(tasks)
         site_of = {site.site_id: site for site in cluster}
-        return self.map(lambda task: execute_site_task(task, site_of[task.site_id]), tasks)
+        return self.map(lambda task: run_site_task(task, site_of[task.site_id]), tasks)
 
     def close(self) -> None:
         """Release any worker resources; the backend stays usable afterwards
@@ -315,12 +319,12 @@ class ProcessPoolBackend(ExecutorBackend):
             # to overlap; payload-bound stages (pure regrouping of large,
             # already-materialized data) cost more to ship than to run.
             site_of = {site.site_id: site for site in cluster}
-            return [execute_site_task(task, site_of[task.site_id]) for task in tasks]
+            return [run_site_task(task, site_of[task.site_id]) for task in tasks]
         self._bind_cluster(cluster, site_options)
         with self._pool_lock:
             pool = self._pool
         assert pool is not None
-        return list(pool.map(execute_site_task, tasks))
+        return list(pool.map(run_site_task, tasks))
 
     def close(self) -> None:
         with self._pool_lock:

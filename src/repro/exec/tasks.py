@@ -27,9 +27,19 @@ import os
 import threading
 import time
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..faults import (
+    FAILURE_SITE_DOWN,
+    FAILURE_TRANSIENT_EXHAUSTED,
+    DEFAULT_RETRY_POLICY,
+    FaultPlan,
+    RetryPolicy,
+    SiteDownError,
+    TaskFailure,
+    TransientTaskError,
+)
 from ..obs.trace import SpanContext, TaskSpan
 
 #: Registered stage handlers, keyed by task name.  Handlers are registered at
@@ -62,12 +72,24 @@ class SiteTask:
     reassemble per-site spans after the fan-out.  Like the payload it is
     plain picklable data — tracing survives the process-pool backend without
     the backends knowing about it.
+
+    ``attempt``/``recovery``/``faults``/``retry`` belong to the fault-injection
+    layer (:mod:`repro.faults`): ``faults`` is the plan consulted before the
+    handler runs, ``retry`` the transient-failure budget
+    :func:`run_site_task` applies, ``attempt`` the 1-based attempt number the
+    retry loop stamps, and ``recovery`` marks a coordinator-driven re-run
+    against a rebuilt site.  All four are plain picklable data and default to
+    the fault-free configuration, so clean runs carry no extra state.
     """
 
     site_id: int
     stage: str
     payload: Mapping[str, Any] = field(default_factory=dict)
     trace: Optional[SpanContext] = None
+    attempt: int = 1
+    recovery: bool = False
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +103,13 @@ class SiteTaskResult:
     ``span`` is populated only when the task carried a trace context: the raw
     :class:`~repro.obs.TaskSpan` measured where the handler ran, for the
     coordinator's merge to fold into the query trace.
+
+    ``attempts`` counts every attempt :func:`run_site_task` consumed; on
+    success ``elapsed_s`` covers the *successful attempt only*, so a retried
+    task never double-counts failed attempts into the engine's stage timers.
+    ``failure`` is set — with ``value=None`` and ``elapsed_s=0.0`` — when the
+    task's site died or its retries ran out; the coordinator's serial merge
+    decides between recovery and degradation.
     """
 
     site_id: int
@@ -88,6 +117,8 @@ class SiteTaskResult:
     elapsed_s: float
     value: Any
     span: Optional[TaskSpan] = None
+    attempts: int = 1
+    failure: Optional[TaskFailure] = None
 
 
 def register_site_task(stage: str, payload_bound: bool = False) -> Callable[[Callable], Callable]:
@@ -177,6 +208,10 @@ def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskRes
     handler = _resolve_handler(task.stage)
     with _site_lock(site):
         started = time.perf_counter()
+        if task.faults is not None:
+            # Inside the timing window on purpose: injected straggler latency
+            # (``slow`` entries) must show up in the attempt's measured time.
+            task.faults.before_task(task)
         value = handler(site, task.payload)
         ended = time.perf_counter()
     span = None
@@ -190,3 +225,53 @@ def execute_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskRes
             context=task.trace,
         )
     return SiteTaskResult(task.site_id, task.stage, ended - started, value, span)
+
+
+def run_site_task(task: SiteTask, site: Optional[Any] = None) -> SiteTaskResult:
+    """Run ``task`` with the retry/failure semantics of the fault layer.
+
+    This is what every backend maps over site tasks (and, like
+    :func:`execute_site_task`, a picklable top-level entry point for the
+    process pool).  The contract:
+
+    * :class:`~repro.faults.TransientTaskError` is retried in place up to the
+      task's :class:`~repro.faults.RetryPolicy` budget with capped
+      exponential backoff; on success only the successful attempt's
+      ``elapsed_s`` is reported (failed attempts never reach the stage
+      timers) and ``attempts`` records how many tries it took.
+    * :class:`~repro.faults.SiteDownError` — and an exhausted retry budget —
+      produce a *failed* result (``value=None``, ``failure`` set) instead of
+      raising, so one dead site cannot poison a whole backend batch; the
+      coordinator's serial merge turns the failure into recovery or
+      degradation.
+    * Any other exception is a real bug in a handler and propagates
+      unchanged.
+
+    Fault-free tasks take the first branch on attempt 1 and behave exactly
+    like :func:`execute_site_task`.
+    """
+    policy = task.retry if task.retry is not None else DEFAULT_RETRY_POLICY
+    attempts = 0
+    while True:
+        attempts += 1
+        current = task if attempts == task.attempt else replace(task, attempt=attempts)
+        try:
+            result = execute_site_task(current, site)
+        except SiteDownError as error:
+            failure = TaskFailure(FAILURE_SITE_DOWN, str(error), recoverable=error.recoverable)
+            return SiteTaskResult(
+                task.site_id, task.stage, 0.0, None, attempts=attempts, failure=failure
+            )
+        except TransientTaskError as error:
+            if attempts >= policy.max_attempts:
+                failure = TaskFailure(FAILURE_TRANSIENT_EXHAUSTED, str(error), recoverable=True)
+                return SiteTaskResult(
+                    task.site_id, task.stage, 0.0, None, attempts=attempts, failure=failure
+                )
+            backoff = policy.backoff_for(attempts)
+            if backoff > 0:
+                time.sleep(backoff)
+            continue
+        if attempts == 1:
+            return result
+        return replace(result, attempts=attempts)

@@ -76,19 +76,40 @@ def default_site_options() -> Dict[str, object]:
     }
 
 
-def build_sites(bootstrap: WorkerBootstrap) -> Dict[int, object]:
-    """Materialize one :class:`~repro.distributed.Site` per bootstrap fragment."""
+def build_site(
+    payload: Mapping[str, object],
+    *,
+    use_planner: bool = True,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+):
+    """Materialize one :class:`~repro.distributed.Site` from a fragment payload.
+
+    The single-site bootstrap step, shared by the worker initializer below
+    and by ``Cluster.rebuild_site`` — the fault-recovery path that replaces a
+    dead site with a fresh one rebuilt from the same plain-data payload a
+    process worker would receive.
+    """
     from ..distributed.site import Site
 
+    fragment = fragment_from_payload(payload)
+    site = Site(fragment.fragment_id, fragment)
+    if use_planner:
+        site.enable_planner(plan_cache_size)
+    else:
+        site.disable_planner()
+    return site
+
+
+def build_sites(bootstrap: WorkerBootstrap) -> Dict[int, object]:
+    """Materialize one :class:`~repro.distributed.Site` per bootstrap fragment."""
     sites: Dict[int, object] = {}
     for payload in bootstrap.fragments:
-        fragment = fragment_from_payload(payload)
-        site = Site(fragment.fragment_id, fragment)
-        if bootstrap.use_planner:
-            site.enable_planner(bootstrap.plan_cache_size)
-        else:
-            site.disable_planner()
-        sites[fragment.fragment_id] = site
+        site = build_site(
+            payload,
+            use_planner=bootstrap.use_planner,
+            plan_cache_size=bootstrap.plan_cache_size,
+        )
+        sites[site.site_id] = site
     return sites
 
 

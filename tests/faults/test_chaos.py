@@ -1,0 +1,182 @@
+"""The deterministic chaos suite: kill any site at any stage, get clean answers.
+
+The contract under test (``docs/faults.md``): with a recoverable
+:class:`~repro.faults.FaultPlan`, the engine's answers, per-stage shipment
+fingerprint, and retry counters are **bit-identical** to the fault-free run —
+under every executor backend and at every worker count.  Unrecoverable
+losses instead degrade: the result names the lost site and returns exactly
+what the surviving fragments can answer.
+
+Everything runs over the paper's Fig. 1 example (3 sites, 4 solutions) on a
+module-local cluster — recovery rebuilds sites in place, so the suite never
+shares the session-scoped fixture clusters with other tests.
+"""
+
+import pytest
+
+from repro.bench import stage_shipment_snapshot as snapshot
+from repro.core import EngineConfig, GStoreDEngine
+from repro.datasets.paper_example import build_example_partitioning, example_query
+from repro.distributed import build_cluster
+from repro.exec import make_backend
+from repro.faults import INJECTABLE_STAGES, FaultPlan, RetryPolicy
+
+#: Every site of the Fig. 1 partitioning × every injectable pipeline stage.
+SITES = (0, 1, 2)
+BACKENDS = ("serial", "threads", "processes")
+
+#: No sleeping in the kill matrix: recovery re-runs never retry in place, so
+#: a zero-backoff policy keeps the suite fast without changing coverage.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=0.0, max_backoff_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def chaos_cluster():
+    return build_cluster(build_example_partitioning())
+
+
+@pytest.fixture(scope="module")
+def backends():
+    """One warm backend per executor, shared by every run in this module."""
+    pool = {
+        "serial": make_backend("serial", None),
+        "threads": make_backend("threads", 2),
+        "processes": make_backend("processes", 2),
+    }
+    yield pool
+    for backend in pool.values():
+        backend.close()
+
+
+def run(cluster, backend, faults=None):
+    cluster.reset_network()
+    engine = GStoreDEngine(cluster, EngineConfig.full(), backend=backend, faults=faults)
+    try:
+        return engine.execute(example_query())
+    finally:
+        engine.close()
+
+
+def rows_of(result):
+    return sorted(map(sorted, (row.items() for row in result.results.to_table())))
+
+
+@pytest.fixture(scope="module")
+def clean(chaos_cluster, backends):
+    """The fault-free reference: rows + shipment fingerprint per backend."""
+    reference = {name: run(chaos_cluster, backend) for name, backend in backends.items()}
+    first = next(iter(reference.values()))
+    for result in reference.values():
+        assert rows_of(result) == rows_of(first)
+        assert snapshot(result) == snapshot(first)
+    return {"rows": rows_of(first), "snapshot": snapshot(first)}
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("stage", INJECTABLE_STAGES)
+@pytest.mark.parametrize("site", SITES)
+def test_killing_any_site_at_any_stage_recovers_bit_for_bit(
+    chaos_cluster, backends, clean, site, stage, backend_name
+):
+    plan = FaultPlan.parse(f"kill:{site}@{stage}", retry=FAST_RETRY)
+    result = run(chaos_cluster, backends[backend_name], faults=plan)
+    assert rows_of(result) == clean["rows"]
+    assert snapshot(result) == clean["snapshot"]
+    work = result.statistics.work
+    assert work["site_failures"] == 1
+    assert work["site_recoveries"] == 1
+    assert not result.statistics.extra.get("degraded")
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("site", SITES)
+def test_unrecoverable_loss_degrades_and_names_the_site(
+    chaos_cluster, backends, clean, site, backend_name
+):
+    plan = FaultPlan.parse(f"kill:{site}@partial_evaluation:unrecoverable", retry=FAST_RETRY)
+    result = run(chaos_cluster, backends[backend_name], faults=plan)
+    extra = result.statistics.extra
+    assert extra["degraded"] is True
+    assert extra["missing_sites"] == [site]
+    assert "partial results" in extra["warning"]
+    assert result.statistics.work["site_recoveries"] == 0
+    # Never a wrong answer: what survives is a subset of the clean rows.
+    survivors = rows_of(result)
+    assert all(row in clean["rows"] for row in survivors)
+    assert len(survivors) < len(clean["rows"])
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_flaky_tasks_retry_in_place_without_changing_answers(
+    chaos_cluster, backends, clean, backend_name
+):
+    plan = FaultPlan.parse(
+        "flaky:0@candidate_exchange:2;flaky:2@partial_evaluation", retry=FAST_RETRY
+    )
+    result = run(chaos_cluster, backends[backend_name], faults=plan)
+    assert rows_of(result) == clean["rows"]
+    assert snapshot(result) == clean["snapshot"]
+    work = result.statistics.work
+    assert work["task_retries"] == 3  # 2 + 1, deterministic
+    assert work["site_failures"] == 0
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_combined_plan_is_deterministic_across_backends(
+    chaos_cluster, backends, clean, backend_name
+):
+    plan = FaultPlan.parse(
+        "kill:1@partial_evaluation;flaky:0@candidate_exchange:2;kill:2@assembly",
+        retry=FAST_RETRY,
+    )
+    result = run(chaos_cluster, backends[backend_name], faults=plan)
+    assert rows_of(result) == clean["rows"]
+    assert snapshot(result) == clean["snapshot"]
+    work = result.statistics.work
+    assert work["task_retries"] == 2
+    assert work["site_failures"] == 2
+    assert work["site_recoveries"] == 2
+
+
+def test_worker_count_does_not_change_recovered_answers(chaos_cluster, clean):
+    plan = FaultPlan.parse(
+        "kill:1@partial_evaluation;flaky:0@candidate_exchange:2", retry=FAST_RETRY
+    )
+    for workers in (1, 2, 8):
+        backend = make_backend("threads", workers)
+        try:
+            result = run(chaos_cluster, backend, faults=plan)
+        finally:
+            backend.close()
+        assert rows_of(result) == clean["rows"]
+        assert snapshot(result) == clean["snapshot"]
+        assert result.statistics.work["task_retries"] == 2
+
+
+def test_clean_runs_carry_no_fault_state(chaos_cluster, backends):
+    """Without a plan the statistics stay byte-identical to the pre-fault era."""
+    result = run(chaos_cluster, backends["serial"])
+    assert "task_retries" not in result.statistics.work
+    assert "degraded" not in result.statistics.extra
+
+
+def test_slow_site_latency_shows_in_the_stage_timer(chaos_cluster, backends):
+    plan = FaultPlan.parse("slow:0@partial_evaluation:0.2", retry=FAST_RETRY)
+    result = run(chaos_cluster, backends["serial"], faults=plan)
+    stage = next(s for s in result.statistics.stages if s.name == "partial_evaluation")
+    assert max(stage.site_times_s.values()) >= 0.2
+
+
+def test_retried_tasks_time_only_the_successful_attempt(chaos_cluster, backends, clean):
+    """The PR's timing fix: a flaky first attempt (with injected straggler
+    latency) must not leak its failed attempt's wall clock into the stage
+    timer — ``slow`` only fires on attempt 1, which is exactly the attempt
+    ``flaky`` makes fail, so the successful attempt is fast."""
+    plan = FaultPlan.parse(
+        "flaky:0@partial_evaluation:1;slow:0@partial_evaluation:0.2", retry=FAST_RETRY
+    )
+    result = run(chaos_cluster, backends["serial"], faults=plan)
+    assert rows_of(result) == clean["rows"]
+    assert result.statistics.work["task_retries"] >= 1
+    stage = next(s for s in result.statistics.stages if s.name == "partial_evaluation")
+    assert max(stage.site_times_s.values()) < 0.2

@@ -19,6 +19,7 @@ REPRO_EXPORTS = [
     "DistributedResult",
     "EngineConfig",
     "ExecutorBackend",
+    "FaultPlan",
     "GStoreDEngine",
     "GraphStatistics",
     "HashPartitioner",
@@ -41,6 +42,7 @@ REPRO_EXPORTS = [
     "RDFGraph",
     "Result",
     "ResultSet",
+    "RetryPolicy",
     "SelectQuery",
     "SemanticHashPartitioner",
     "SerialBackend",

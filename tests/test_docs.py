@@ -154,6 +154,33 @@ def test_docs_cover_the_serving_surface():
         assert required in text, f"docs/serving.md no longer mentions {required}"
 
 
+def test_docs_cover_the_fault_surface():
+    text = (REPO_ROOT / "docs" / "faults.md").read_text(encoding="utf-8")
+    for required in (
+        "--inject-faults",
+        "FaultPlan",
+        "random:SEED",
+        "kill:",
+        "flaky:",
+        "slow:",
+        "unrecoverable",
+        "RetryPolicy",
+        "degraded",
+        "missing_sites",
+        "repro_task_retries_total",
+        "repro_site_failures_total",
+        "repro_degraded_queries_total",
+        "chaos-smoke",
+        "determinism",
+    ):
+        assert required in text, f"docs/faults.md no longer mentions {required}"
+    # The documented injectable stages must match the code's registry.
+    from repro.faults import INJECTABLE_STAGES
+
+    for stage in INJECTABLE_STAGES:
+        assert f"`{stage}`" in text, f"docs/faults.md does not document stage {stage!r}"
+
+
 def test_docs_cover_every_benchmark_module():
     text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
     for module in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
@@ -168,5 +195,6 @@ def test_readme_points_into_the_docs_tree():
         "docs/benchmarks.md",
         "docs/observability.md",
         "docs/serving.md",
+        "docs/faults.md",
     ):
         assert target in text, f"README.md does not link to {target}"

@@ -1,0 +1,131 @@
+"""Persistence A/B — warm cold-open from a store file vs full rebuild.
+
+The point of :mod:`repro.persist` is the restart path: a coordinator (or a
+``repro serve`` process) coming back up should *open* its cluster from the
+store file instead of regenerating the dataset, re-partitioning it and
+re-collecting per-fragment statistics.  This benchmark measures both paths
+to a fully queryable cluster (statistics forced, one query answered) on the
+LUBM workload at scale 2 and gates the ratio:
+
+* cold-open (``ClusterStore.open`` + ``load_cluster``) must be at least
+  ``COLD_OPEN_SPEEDUP_FLOOR``x faster than the full rebuild
+  (generate + partition + build + statistics);
+* both paths must return bit-identical answers and per-stage shipment
+  fingerprints (the determinism contract of docs/persistence.md).
+
+Runs rewrite ``BENCH_persist.json`` with the measured wall-clock numbers,
+the store-file size and the parity verdicts.
+"""
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.bench import (
+    format_table,
+    prepare_workload,
+    print_experiment,
+    run_query,
+    stage_shipment_snapshot,
+)
+from repro.core import EngineConfig
+from repro.persist import ClusterStore
+
+DATASET = "LUBM"
+SCALE = 2
+NUM_SITES = 6
+QUERY = "LQ2"
+
+#: The acceptance gate: opening a saved cluster must beat rebuilding it
+#: from scratch by at least this factor.
+COLD_OPEN_SPEEDUP_FLOOR = 3.0
+
+#: Wall-clock rounds per path; the best round counts (noise suppression).
+ROUNDS = 2
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+SERIAL = EngineConfig.full().with_options(executor="serial")
+
+
+def _force_statistics(cluster):
+    """Touch every site's planner statistics so both paths end equally warm."""
+    for site in cluster:
+        site.store.statistics
+
+
+def _fingerprint(workload):
+    result = run_query(workload, QUERY, SERIAL)
+    rows = sorted(map(sorted, (row.items() for row in result.results.to_table())))
+    return rows, dict(result.statistics.work), stage_shipment_snapshot(result)
+
+
+def persist_ab():
+    """Measure rebuild vs cold-open to a queryable cluster; return one row.
+
+    Each path runs ``ROUNDS`` times and the best wall clock counts, so the
+    ratio compares the work the paths do rather than one-time process
+    warmup (first SQLite open, lazy imports) or timer noise.
+    """
+    # Full rebuild: the path every session pays without a store file.
+    rebuild_times = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        rebuilt = prepare_workload(DATASET, scale=SCALE, strategy="hash", num_sites=NUM_SITES)
+        _force_statistics(rebuilt.cluster)
+        rebuild_times.append(time.perf_counter() - started)
+    rebuild_s = min(rebuild_times)
+
+    path = RESULTS_PATH.parent / "BENCH_persist.store"
+    try:
+        ClusterStore.create(
+            path, rebuilt.partitioned, dataset=DATASET, scale=SCALE, overwrite=True
+        ).close()
+        file_bytes = path.stat().st_size
+
+        # Cold-open: what a restarting coordinator pays instead.
+        cold_times = []
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            store = ClusterStore.open(path)
+            reopened = store.load_cluster()
+            _force_statistics(reopened)
+            cold_times.append(time.perf_counter() - started)
+            if len(cold_times) < ROUNDS:
+                store.close()
+        cold_open_s = min(cold_times)
+
+        warm = dataclasses.replace(rebuilt, cluster=reopened)
+        identical = _fingerprint(warm) == _fingerprint(rebuilt)
+        store.close()
+    finally:
+        path.unlink(missing_ok=True)
+
+    return {
+        "dataset": f"{DATASET}@{SCALE}",
+        "num_sites": NUM_SITES,
+        "base_triples": len(rebuilt.graph),
+        "store_kb": round(file_bytes / 1024.0, 1),
+        "rebuild_wall_ms": round(rebuild_s * 1000.0, 2),
+        "cold_open_wall_ms": round(cold_open_s * 1000.0, 2),
+        "speedup": round(rebuild_s / cold_open_s, 2) if cold_open_s else 0.0,
+        "identical": identical,
+    }
+
+
+def test_persist_cold_open_speedup(benchmark):
+    row = benchmark.pedantic(persist_ab, iterations=1, rounds=1)
+    print_experiment(
+        f"Persistence A/B — store cold-open vs full rebuild ({DATASET} scale {SCALE})",
+        format_table([row])
+        + f"\ncold-open speedup over rebuild: {row['speedup']:.2f}x "
+        + f"(gate: >= {COLD_OPEN_SPEEDUP_FLOOR}x)",
+    )
+    assert row["identical"], "reopened cluster diverged from the rebuilt cluster"
+    assert row["speedup"] >= COLD_OPEN_SPEEDUP_FLOOR, (
+        f"expected cold-open >= {COLD_OPEN_SPEEDUP_FLOOR}x faster than a full "
+        f"rebuild, measured {row['speedup']:.2f}x"
+    )
+    payload = {"benchmark": "bench_persist", "gate": COLD_OPEN_SPEEDUP_FLOOR, "row": row}
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {RESULTS_PATH}")

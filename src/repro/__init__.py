@@ -64,10 +64,11 @@ from .core import (
     LocalPartialMatch,
     OptimizationLevel,
 )
-from .distributed import Cluster, QueryStatistics, ShipmentSnapshot, build_cluster
+from .distributed import AppliedDelta, Cluster, QueryStatistics, ShipmentSnapshot, build_cluster
 from .exec import ExecutorBackend, SerialBackend, ThreadPoolBackend, make_backend, run_per_site
 from .faults import FaultPlan, RetryPolicy
 from .obs import MetricsRegistry, StageProfiler, Trace, Tracer
+from .persist import ClusterStore, StoreError
 from .partition import (
     HashPartitioner,
     MetisLikePartitioner,
@@ -110,10 +111,12 @@ def quickstart_cluster(num_fragments: int = 3, strategy: str = "hash"):
 
 __all__ = [
     "ABLATION_CONFIGS",
+    "AppliedDelta",
     "AsyncSession",
     "Binding",
     "CentralizedEngine",
     "Cluster",
+    "ClusterStore",
     "DistributedResult",
     "EngineConfig",
     "ExecutorBackend",
@@ -147,6 +150,7 @@ __all__ = [
     "Session",
     "ShipmentSnapshot",
     "StageProfiler",
+    "StoreError",
     "ThreadPoolBackend",
     "Trace",
     "Tracer",

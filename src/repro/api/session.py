@@ -47,7 +47,7 @@ from ..obs import (
 from ..partition.fragment import PartitionedGraph
 from ..partition.partitioners import make_partitioner
 from ..planner.optimizer import QueryPlanner
-from ..store.encoding import encoded_rebuilds
+from ..store.encoding import encoded_patches, encoded_rebuilds
 from ..rdf.graph import RDFGraph
 from ..sparql.algebra import SelectQuery
 from ..sparql.parser import parse_query
@@ -143,9 +143,15 @@ class Session:
         profile: Optional[bool] = None,
         result_cache: int = 0,
         faults: Optional[FaultPlan] = None,
+        store: Optional[object] = None,
         **config_options,
     ) -> None:
         self.cluster = cluster
+        #: A :class:`~repro.persist.ClusterStore` this session *owns* (it was
+        #: opened or created on the session's behalf by ``repro.open(path=…)``)
+        #: and closes in :meth:`close`.  Independent of :attr:`store`, which
+        #: reflects whatever store the cluster currently has attached.
+        self._owned_store = store
         self.dataset = dataset
         self.scale = scale
         #: Fault-injection plan applied to every gStoreD-family query of the
@@ -194,9 +200,11 @@ class Session:
         self.result_cache: Optional[ResultCache] = (
             ResultCache(result_cache, self.metrics) if result_cache else None
         )
-        # record_query reports encoded-graph rebuilds as a delta since open,
-        # so one session's metrics never absorb another session's builds.
+        # record_query reports encoded-graph rebuilds (and delta patches) as
+        # deltas since open, so one session's metrics never absorb another
+        # session's builds.
         self._rebuilds_at_open = encoded_rebuilds()
+        self._patches_at_open = encoded_patches()
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -250,6 +258,12 @@ class Session:
         return self.cluster.coordinator_planner(
             self.config.plan_cache_size, backend=self.backend
         )
+
+    @property
+    def store(self):
+        """The cluster's attached :class:`~repro.persist.ClusterStore`, or
+        ``None`` for a purely in-memory session."""
+        return self.cluster.store
 
     # ------------------------------------------------------------------
     # Engines
@@ -387,6 +401,7 @@ class Session:
             backend=self.backend.name,
             pool_size=getattr(self.backend, "max_workers", 1) or 1,
             encoded_rebuilds=encoded_rebuilds() - self._rebuilds_at_open,
+            encoded_patches=encoded_patches() - self._patches_at_open,
         )
         if result.degraded:
             with self._lock:
@@ -434,6 +449,21 @@ class Session:
                 }
             )
         return QueryBatch(results, report)
+
+    def update(self, add: Iterable = (), remove: Iterable = ()):
+        """Apply a triple delta to the session's cluster, in place.
+
+        Thin veneer over :meth:`~repro.distributed.Cluster.apply`: removals
+        run first, then additions; no-ops are skipped; every index, fragment
+        and statistic is *patched* rather than rebuilt; and with a
+        store-backed session (``repro.open(path=…)``) the effective ops are
+        journaled to the store's write-ahead delta table before this returns,
+        so a reopened session resumes from the mutated state.  Do not run
+        queries concurrently with an update (the usual mutation contract).
+        Returns the :class:`~repro.distributed.AppliedDelta` summary.
+        """
+        self._ensure_open()
+        return self.cluster.apply(add=add, remove=remove)
 
     def explain(self, query: Union[str, SelectQuery]) -> str:
         """The cost-based plan for ``query`` (per connected component), as text."""
@@ -485,7 +515,11 @@ class Session:
                     if first_error is None:
                         first_error = error
         finally:
-            self.backend.close()
+            try:
+                self.backend.close()
+            finally:
+                if self._owned_store is not None:
+                    self._owned_store.close()
         if first_error is not None:
             raise first_error
 
@@ -503,9 +537,68 @@ class Session:
         )
 
 
+def _prepare_workload(
+    name: str, strategy: str, scale: Optional[int], sites: Optional[int]
+) -> Tuple[PartitionedGraph, str, Optional[int], Dict[str, SelectQuery]]:
+    """Generate and partition one bundled workload.
+
+    Returns ``(partitioned, dataset_name, scale, queries)`` — the pieces both
+    the in-memory and the store-backed ``open_session`` paths assemble their
+    session from.
+    """
+    if name.lower() in PAPER_EXAMPLE_NAMES:
+        from ..datasets.paper_example import (
+            build_example_graph,
+            build_example_partitioning,
+            example_query,
+        )
+
+        num_sites = sites if sites is not None else 3
+        if strategy in FIGURE1_PARTITIONERS:
+            if num_sites != 3:
+                raise ValueError(
+                    f"the Fig. 1 partitioning has exactly 3 fragments; got sites={num_sites}"
+                )
+            partitioned = build_example_partitioning()
+        else:
+            partitioned = _partition(strategy, num_sites, build_example_graph())
+        return partitioned, "paper-example", None, {"example": example_query()}
+
+    if strategy in FIGURE1_PARTITIONERS:
+        raise ValueError(
+            f"partitioner {strategy!r} reproduces the Fig. 1 example "
+            f"partitioning and only applies to dataset='paper'; choose from: "
+            f"{', '.join(_partitioner_choices())}"
+        )
+    try:
+        spec = get_dataset(name.upper())
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from: {', '.join(_dataset_choices())}"
+        ) from None
+    chosen_scale = scale if scale is not None else spec.default_scale
+    graph = spec.generate(chosen_scale)
+    num_sites = sites if sites is not None else 6
+    partitioned = _partition(strategy, num_sites, graph)
+    return partitioned, spec.name, chosen_scale, spec.queries()
+
+
+def _workload_queries(dataset_name: str) -> Dict[str, SelectQuery]:
+    """The named benchmark queries for a store manifest's dataset name."""
+    if not dataset_name or dataset_name.lower() in ("paper-example",) + PAPER_EXAMPLE_NAMES:
+        from ..datasets.paper_example import example_query
+
+        return {"example": example_query()}
+    try:
+        return get_dataset(dataset_name.upper()).queries()
+    except KeyError:
+        return {}
+
+
 def open_session(
     dataset: str = "paper",
     *,
+    path: Optional[str] = None,
     scale: Optional[int] = None,
     sites: Optional[int] = None,
     partitioner: str = "hash",
@@ -535,6 +628,14 @@ def open_session(
     :mod:`repro.faults` and ``docs/faults.md``); any extra keyword becomes an
     :class:`EngineConfig` option (``use_lec_pruning=False``, ...).  This
     function is re-exported as ``repro.open``.
+
+    ``path`` makes the session durable (see :mod:`repro.persist` and
+    ``docs/persistence.md``): an existing store file is opened and its
+    cluster rebuilt from disk — the file's manifest, not the ``dataset`` /
+    ``scale`` / ``partitioner`` arguments, decides the workload — while a
+    missing file is built from those arguments once and saved, so the next
+    ``repro.open(path=…)`` restarts warm.  Either way the session journals
+    :meth:`Session.update` deltas into the file and closes it on exit.
     """
     name = dataset.strip()
     strategy = partitioner.strip().lower()
@@ -549,51 +650,60 @@ def open_session(
         faults=faults,
         **config_options,
     )
-    if name.lower() in PAPER_EXAMPLE_NAMES:
-        from ..datasets.paper_example import (
-            build_example_graph,
-            build_example_partitioning,
-            example_query,
-        )
+    if path is not None:
+        from pathlib import Path
 
-        num_sites = sites if sites is not None else 3
-        if strategy in FIGURE1_PARTITIONERS:
-            if num_sites != 3:
-                raise ValueError(
-                    f"the Fig. 1 partitioning has exactly 3 fragments; got sites={num_sites}"
-                )
-            partitioned = build_example_partitioning()
-        else:
-            partitioned = _partition(strategy, num_sites, build_example_graph())
-        return Session.from_partitioned(
-            partitioned,
-            network=network,
-            dataset="paper-example",
-            queries={"example": example_query()},
-            **session_options,
-        )
+        from ..persist import ClusterStore
 
-    if strategy in FIGURE1_PARTITIONERS:
-        raise ValueError(
-            f"partitioner {partitioner!r} reproduces the Fig. 1 example "
-            f"partitioning and only applies to dataset='paper'; choose from: "
-            f"{', '.join(_partitioner_choices())}"
+        if Path(path).exists():
+            store = ClusterStore.open(path)
+            try:
+                cluster = store.load_cluster(network=network)
+            except BaseException:
+                store.close()
+                raise
+            return Session.from_cluster(
+                cluster,
+                dataset=store.dataset,
+                scale=store.scale,
+                queries=_workload_queries(store.dataset),
+                store=store,
+                **session_options,
+            )
+        partitioned, dataset_name, chosen_scale, queries = _prepare_workload(
+            name, strategy, scale, sites
         )
-    try:
-        spec = get_dataset(name.upper())
-    except KeyError:
-        raise ValueError(
-            f"unknown dataset {dataset!r}; choose from: {', '.join(_dataset_choices())}"
-        ) from None
-    chosen_scale = scale if scale is not None else spec.default_scale
-    graph = spec.generate(chosen_scale)
-    num_sites = sites if sites is not None else 6
-    partitioned = _partition(strategy, num_sites, graph)
+        cluster = build_cluster(partitioned, network=network)
+        store = ClusterStore.create(
+            path, partitioned, dataset=dataset_name, scale=chosen_scale
+        )
+        try:
+            # The store collected per-fragment statistics while snapshotting;
+            # hand them to the sites so nobody collects the same numbers twice.
+            for site in cluster:
+                statistics = store.load_statistics(site.site_id)
+                if statistics is not None:
+                    site.store.preload_statistics(statistics)
+            cluster.attach_store(store)
+            return Session.from_cluster(
+                cluster,
+                dataset=dataset_name,
+                scale=chosen_scale,
+                queries=queries,
+                store=store,
+                **session_options,
+            )
+        except BaseException:
+            store.close()
+            raise
+    partitioned, dataset_name, chosen_scale, queries = _prepare_workload(
+        name, strategy, scale, sites
+    )
     return Session.from_partitioned(
         partitioned,
         network=network,
-        dataset=spec.name,
+        dataset=dataset_name,
         scale=chosen_scale,
-        queries=spec.queries(),
+        queries=queries,
         **session_options,
     )

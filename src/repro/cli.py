@@ -15,6 +15,9 @@ The CLI covers the workflow a downstream user actually runs:
 * ``repro explain``   — show the cost-based plan (statistics summary, chosen
   vertex order, per-step estimates) for a query without executing it;
 * ``repro experiment`` — regenerate one of the paper's tables/figures;
+* ``repro store``     — build, inspect and compact durable cluster store
+  files (:mod:`repro.persist`); ``repro serve --store PATH`` and
+  ``repro.open(path=...)`` restart warm from them;
 * ``repro serve``     — keep one warm session open and answer SPARQL queries
   over HTTP (``POST /query``, ``GET /healthz``, ``GET /metrics``) with
   bounded admission and an optional result cache (:mod:`repro.api.serving`).
@@ -197,10 +200,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--sites", type=int, default=6)
 
+    store = subparsers.add_parser(
+        "store", help="build and maintain durable cluster store files (repro.persist)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="build a store file from a bundled workload"
+    )
+    store_build.add_argument(
+        "--dataset", default="paper", help="bundled workload to snapshot (default: paper)"
+    )
+    store_build.add_argument("--scale", type=int, default=None, help="dataset scale factor")
+    store_build.add_argument("--sites", type=int, default=None, help="number of fragments/sites")
+    store_build.add_argument(
+        "--partitioner",
+        default="hash",
+        help="partitioning strategy (default: hash; 'paper' reproduces Fig. 1)",
+    )
+    store_build.add_argument("--output", required=True, help="store file to write")
+    store_build.add_argument(
+        "--force", action="store_true", help="replace an existing store file"
+    )
+    store_info = store_sub.add_parser("info", help="print a store file's manifest and sizes")
+    store_info.add_argument("path", help="store file to inspect")
+    store_compact = store_sub.add_parser(
+        "compact", help="fold the delta journal into a fresh base snapshot"
+    )
+    store_compact.add_argument("path", help="store file to compact in place")
+
     serve = subparsers.add_parser(
         "serve", help="serve SPARQL queries over HTTP from one warm session"
     )
     serve.add_argument("--dataset", default="paper", help="bundled workload to open (default: paper)")
+    serve.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="durable store file to serve from: an existing file restarts the "
+        "session warm from disk (its manifest wins over --dataset/--scale), a "
+        "missing one is built once and saved (see docs/persistence.md)",
+    )
     serve.add_argument("--scale", type=int, default=None, help="dataset scale factor")
     serve.add_argument("--sites", type=int, default=None, help="number of fragments/sites")
     serve.add_argument(
@@ -542,6 +581,55 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .persist import ClusterStore
+
+    if args.store_command == "build":
+        output = Path(args.output)
+        if output.exists() and not args.force:
+            raise ValueError(
+                f"store file already exists: {output} (pass --force to rebuild it)"
+            )
+        if output.exists():
+            output.unlink()
+        from .api import open_session
+
+        started = time.perf_counter()
+        # open_session(path=...) validates dataset/partitioner (enumerating
+        # the choices on error), builds the workload and snapshots it.
+        session = open_session(
+            args.dataset,
+            path=str(output),
+            scale=args.scale,
+            sites=args.sites,
+            partitioner=args.partitioner,
+        )
+        try:
+            info = session.store.info()
+        finally:
+            session.close()
+        elapsed = time.perf_counter() - started
+        print(f"built {output} in {elapsed:.2f} s")
+        for key in ("dataset", "scale", "num_fragments", "base_triples", "base_terms", "file_bytes"):
+            print(f"  {key}: {info[key]}")
+        return 0
+    if args.store_command == "info":
+        with ClusterStore.open(args.path, read_only=True) as store:
+            info = store.info()
+        for key, value in info.items():
+            print(f"{key}: {value}")
+        return 0
+    # compact
+    with ClusterStore.open(args.path) as store:
+        before = store.info()["file_bytes"]
+        report = store.compact()
+    print(
+        f"compacted {args.path}: folded {report['folded_deltas']} deltas, "
+        f"{before} -> {report['file_bytes']} bytes"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     workers = _validated_workers(args)
     executor = _requested_executor(args, workers)
@@ -556,6 +644,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=workers,
         result_cache=args.result_cache,
     )
+    if args.store is not None:
+        open_kwargs["path"] = args.store
     if args.scale is not None:
         open_kwargs["scale"] = args.scale
     if args.sites is not None:
@@ -597,6 +687,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "explain": _cmd_explain,
     "experiment": _cmd_experiment,
+    "store": _cmd_store,
     "serve": _cmd_serve,
 }
 

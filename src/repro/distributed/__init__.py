@@ -1,6 +1,6 @@
 """Distributed execution substrate: sites, message bus, cluster, statistics."""
 
-from .cluster import Cluster, build_cluster
+from .cluster import AppliedDelta, Cluster, build_cluster
 from .network import (
     COORDINATOR,
     GRAPH_BSP_PLATFORM,
@@ -20,6 +20,7 @@ from .site import Site
 from .stats import QueryStatistics, StageStats, aggregate_graph_statistics
 
 __all__ = [
+    "AppliedDelta",
     "COORDINATOR",
     "Cluster",
     "GRAPH_BSP_PLATFORM",

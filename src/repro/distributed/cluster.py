@@ -12,18 +12,36 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..exec import ExecutorBackend, SerialBackend, SiteTask
+from ..partition.delta import apply_delta_effect
 from ..partition.fragment import PartitionedGraph
 from ..planner.optimizer import QueryPlanner
 from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from ..planner.statistics import GraphStatistics
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node
+from ..rdf.triples import Triple
+from ..store.encoding import encoded_view, patch_encoded_view
 from .network import MessageBus, NetworkModel, StageTimer
 from .site import Site
 from .stats import aggregate_graph_statistics
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """Summary of one :meth:`Cluster.apply` call."""
+
+    #: Triples that were actually inserted (not already present).
+    added: int
+    #: Triples that were actually deleted (present before the call).
+    removed: int
+
+    @property
+    def total(self) -> int:
+        return self.added + self.removed
 
 
 class Cluster:
@@ -37,6 +55,11 @@ class Cluster:
         self.network = network if network is not None else NetworkModel()
         self._coordinator_planner: Optional[QueryPlanner] = None
         self._planner_lock = threading.Lock()
+        # Bumped by every apply(); process-pool backends fold it into their
+        # bootstrap binding so warm worker pools re-bootstrap after mutation.
+        self._mutation_epoch = 0
+        # Attached persistence backend (repro.persist.ClusterStore), if any.
+        self._store = None
         # Stage timers of engines executing on this cluster (weakly held, so
         # a finished engine's timers can be collected); reset_network() clears
         # them alongside the bus to keep back-to-back runs independent.
@@ -152,6 +175,120 @@ class Cluster:
                     self.graph_statistics(backend), cache_size=plan_cache_size
                 )
             return self._coordinator_planner
+
+    # ------------------------------------------------------------------
+    # Mutation (delta application)
+    # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        """Number of :meth:`apply` calls that changed this cluster so far."""
+        return self._mutation_epoch
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.persist.ClusterStore`, or ``None``."""
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Attach a persistence backend: subsequent :meth:`apply` calls are
+        journaled to its write-ahead delta table, and process-pool workers
+        bootstrap by opening the store file instead of unpickling fragments."""
+        self._store = store
+
+    def apply(
+        self,
+        add: Iterable[Triple] = (),
+        remove: Iterable[Triple] = (),
+    ) -> AppliedDelta:
+        """Apply a triple delta to the whole cluster, in place.
+
+        Removals run first, then additions; no-ops (adding a present triple,
+        removing an absent one) are skipped.  Every effective op is routed to
+        its fragments by the sticky :class:`~repro.partition.delta.DeltaRouter`
+        and folded into the master graph, the fragment vertex/edge sets and
+        the site stores; the dictionary encodings are then *patched* eagerly
+        (never rebuilt), so the resulting id assignment is a pure function of
+        (base state, op sequence).  A replica replaying the same ops from the
+        same base — a reopened store file, a process-pool worker — therefore
+        reaches the bit-identical encoding, which is what keeps answers,
+        match sequences and shipment fingerprints stable across restarts.
+
+        Callers must not run queries concurrently with ``apply`` (the same
+        contract as direct graph mutation).  With an attached store the
+        effective ops are appended to its write-ahead delta table before
+        this method returns.
+        """
+        staged = [("-", triple) for triple in remove]
+        staged.extend(("+", triple) for triple in add)
+        return self.apply_ops(staged)
+
+    def apply_ops(self, ops: Iterable[Tuple[str, Triple]]) -> AppliedDelta:
+        """Apply an explicit ``("+"|"-", triple)`` sequence in order.
+
+        The replay entry point: :meth:`apply` stages its arguments through
+        here, and the persistence layer replays a store file's write-ahead
+        delta table through here so a reopened cluster walks the exact same
+        code path (and reaches the exact same state) as the live one did.
+        """
+        staged = list(ops)
+        if not staged:
+            return AppliedDelta(0, 0)
+        graph = self.graph
+        # Force every encoding *before* mutating: patching from a known
+        # base state is what replicas replay against.
+        master_encoded = encoded_view(graph)
+        site_encoded = {
+            site.site_id: encoded_view(site.store.graph) for site in self._sites
+        }
+        sites_by_id = {site.site_id: site for site in self._sites}
+        router = self._partitioned.delta_router()
+        master_ops: List[Tuple[str, Triple]] = []
+        site_ops: Dict[int, List[Tuple[str, Triple]]] = {
+            site.site_id: [] for site in self._sites
+        }
+        added = removed = 0
+        for op, triple in staged:
+            if op == "+":
+                if not graph.add(triple):
+                    continue
+                added += 1
+            else:
+                if not graph.discard(triple):
+                    continue
+                removed += 1
+            master_ops.append((op, triple))
+            for effect in router.route(op, triple):
+                site = sites_by_id[effect.fragment_id]
+                if op == "+":
+                    site.store.add(triple)
+                else:
+                    site.store.discard(triple)
+                apply_delta_effect(site.fragment, effect, graph=site.store.graph)
+                # Fault recovery may have swapped in a site whose fragment is
+                # a rebuilt copy; keep the partitioning's own fragment (the
+                # durable source for payloads and saves) in step too.
+                partitioned_fragment = self._partitioned.fragment(effect.fragment_id)
+                if partitioned_fragment is not site.fragment:
+                    apply_delta_effect(partitioned_fragment, effect, graph=site.store.graph)
+                site_ops[effect.fragment_id].append((op, triple))
+        if not master_ops:
+            return AppliedDelta(0, 0)
+        patch_encoded_view(graph, master_encoded, master_ops)
+        for site in self._sites:
+            ops_here = site_ops[site.site_id]
+            if ops_here:
+                patch_encoded_view(site.store.graph, site_encoded[site.site_id], ops_here)
+        with self._planner_lock:
+            if self._coordinator_planner is not None:
+                statistics = self._coordinator_planner.statistics
+                if statistics is not None:
+                    statistics.replace_with(self.graph_statistics())
+                # Cached orders were chosen against the old statistics.
+                self._coordinator_planner.cache.clear()
+        self._mutation_epoch += 1
+        if self._store is not None:
+            self._store.append_ops(master_ops)
+        return AppliedDelta(added, removed)
 
     # ------------------------------------------------------------------
     # Bookkeeping

@@ -204,6 +204,9 @@ class ProcessPoolBackend(ExecutorBackend):
         #: cluster can never alias a new one at the same address.
         self._bound_cluster: Optional["weakref.ref"] = None
         self._bound_options: Optional[Tuple[Tuple[str, object], ...]] = None
+        #: The cluster's mutation epoch at bind time: a delta application
+        #: invalidates every worker's bootstrapped sites, so the pool rebinds.
+        self._bound_epoch: Optional[int] = None
         # Guards pool creation/bind/close as one unit: concurrent queries on
         # one session must agree on a single bootstrapped pool.  Re-entrant
         # because _bind_cluster calls close().
@@ -282,9 +285,15 @@ class ProcessPoolBackend(ExecutorBackend):
         from .worker import WorkerBootstrap, initialize_worker, default_site_options
 
         options = tuple(sorted({**default_site_options(), **(site_options or {})}.items()))
+        epoch = getattr(cluster, "mutation_epoch", 0)
         with self._pool_lock:
             bound = self._bound_cluster() if self._bound_cluster is not None else None
-            if self._pool is not None and bound is cluster and self._bound_options == options:
+            if (
+                self._pool is not None
+                and bound is cluster
+                and self._bound_options == options
+                and self._bound_epoch == epoch
+            ):
                 return
             self.close()
             bootstrap = WorkerBootstrap.from_cluster(cluster, **dict(options))
@@ -296,6 +305,7 @@ class ProcessPoolBackend(ExecutorBackend):
             )
             self._bound_cluster = weakref.ref(cluster)
             self._bound_options = options
+            self._bound_epoch = epoch
 
     # ------------------------------------------------------------------
     # ExecutorBackend API
@@ -331,6 +341,7 @@ class ProcessPoolBackend(ExecutorBackend):
             pool, self._pool = self._pool, None
             self._bound_cluster = None
             self._bound_options = None
+            self._bound_epoch = None
         if pool is not None:
             pool.shutdown(wait=True)
 

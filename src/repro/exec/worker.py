@@ -54,8 +54,26 @@ class WorkerBootstrap:
         use_planner: bool = True,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> "WorkerBootstrap":
-        """Snapshot ``cluster``'s fragments into a picklable bootstrap."""
+        """Snapshot ``cluster``'s fragments into a picklable bootstrap.
+
+        A cluster with an attached :class:`~repro.persist.ClusterStore`
+        ships v3 store references — ``(store_path, fragment_id, delta_seq)``
+        triples a few bytes long — and workers load their sites from the
+        store file read-only; otherwise the fragments are inlined as v2
+        dictionary-encoded payloads.
+        """
         sites = sorted(cluster, key=lambda site: site.site_id)
+        store = getattr(cluster, "store", None)
+        if store is not None:
+            from ..partition.serialization import fragment_to_store_payload
+
+            return cls(
+                fragments=tuple(
+                    fragment_to_store_payload(site.site_id, store) for site in sites
+                ),
+                use_planner=use_planner,
+                plan_cache_size=plan_cache_size,
+            )
         return cls(
             fragments=tuple(fragment_to_payload(site.fragment) for site in sites),
             use_planner=use_planner,
@@ -91,6 +109,18 @@ def build_site(
     """
     from ..distributed.site import Site
 
+    if payload.get("format") == "repro-fragment/3":
+        # Store-reference payload: open the store file read-only and let it
+        # rebuild the site directly (base edges + bounded delta replay).
+        from ..persist import ClusterStore
+
+        with ClusterStore.open(payload["store_path"], read_only=True) as store:
+            return store.bootstrap_site(
+                int(payload["fragment_id"]),
+                use_planner=use_planner,
+                plan_cache_size=plan_cache_size,
+                up_to=int(payload["delta_seq"]),
+            )
     fragment = fragment_from_payload(payload)
     site = Site(fragment.fragment_id, fragment)
     if use_planner:

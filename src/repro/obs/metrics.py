@@ -274,6 +274,7 @@ def record_query(
     backend: str = "",
     pool_size: int = 0,
     encoded_rebuilds: Optional[int] = None,
+    encoded_patches: Optional[int] = None,
 ) -> None:
     """Translate one finished query's statistics into metric updates.
 
@@ -291,6 +292,11 @@ def record_query(
             "repro_encoded_graph_rebuilds",
             "EncodedGraph rebuilds observed in this process so far.",
         ).set(encoded_rebuilds)
+    if encoded_patches is not None:
+        registry.gauge(
+            "repro_encoded_graph_patches",
+            "EncodedGraph in-place delta patches observed in this process so far.",
+        ).set(encoded_patches)
     if statistics is None:
         return
     # The plan-cache families exist (at zero) even for queries that never

@@ -10,6 +10,7 @@ from .cost_model import (
     select_best_partitioning,
     star_query_lec_feature_count,
 )
+from .delta import DeltaEffect, DeltaRouter, apply_delta_effect, stable_fragment_of
 from .fragment import Fragment, PartitionedGraph, PartitioningError, build_partitioned_graph
 from .partitioners import (
     HashPartitioner,
@@ -23,6 +24,7 @@ from .refinement import RefinementReport, refine_partitioning
 from .serialization import (
     fragment_from_payload,
     fragment_to_payload,
+    fragment_to_store_payload,
     fragments_to_payloads,
     load_assignment,
     load_partitioning,
@@ -32,6 +34,8 @@ from .serialization import (
 )
 
 __all__ = [
+    "DeltaEffect",
+    "DeltaRouter",
     "Fragment",
     "HashPartitioner",
     "MetisLikePartitioner",
@@ -42,12 +46,14 @@ __all__ = [
     "PartitioningError",
     "RefinementReport",
     "SemanticHashPartitioner",
+    "apply_delta_effect",
     "build_partitioned_graph",
     "compare_partitionings",
     "crossing_edge_distribution",
     "crossing_edge_expectation",
     "fragment_from_payload",
     "fragment_to_payload",
+    "fragment_to_store_payload",
     "fragments_to_payloads",
     "largest_fragment_size",
     "load_assignment",
@@ -59,5 +65,6 @@ __all__ = [
     "save_assignment",
     "save_workspace",
     "select_best_partitioning",
+    "stable_fragment_of",
     "star_query_lec_feature_count",
 ]

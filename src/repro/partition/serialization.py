@@ -35,6 +35,13 @@ _FRAGMENT_FORMAT = "repro-fragment/2"
 #: every vertex and edge entry; still readable, no longer written.
 _FRAGMENT_FORMAT_V1 = "repro-fragment/1"
 
+#: Format marker of a store-reference payload: instead of inlining the
+#: fragment's data it points at a :class:`~repro.persist.ClusterStore` file
+#: (``store_path``, ``fragment_id``) pinned at a delta sequence number, and
+#: the receiver loads the fragment from the store read-only.  Written by
+#: ``WorkerBootstrap.from_cluster`` when the cluster has an attached store.
+_FRAGMENT_FORMAT_V3 = "repro-fragment/3"
+
 
 def assignment_to_dict(partitioned: PartitionedGraph) -> Dict[str, object]:
     """The JSON-serializable representation of a partitioning's assignment."""
@@ -125,13 +132,38 @@ def fragment_to_payload(fragment: Fragment) -> Dict[str, object]:
     }
 
 
+def fragment_to_store_payload(fragment_id: int, store) -> Dict[str, object]:
+    """A v3 store-reference payload for one fragment of an attached store.
+
+    Ships three scalars instead of the fragment's data: the store file path,
+    the fragment id and the store's current delta head.  The receiving
+    process opens the file read-only and rebuilds the fragment (base edges +
+    bounded delta replay), so bootstrap cost scales with the fragment — not
+    with what must be pickled through a pipe.
+    """
+    return {
+        "format": _FRAGMENT_FORMAT_V3,
+        "fragment_id": int(fragment_id),
+        "store_path": str(store.path),
+        "delta_seq": int(store.delta_head),
+    }
+
+
 def fragment_from_payload(payload: Dict[str, object]) -> Fragment:
     """Rebuild a :class:`Fragment` written by :func:`fragment_to_payload`.
 
-    Accepts both the current dictionary-encoded format and the legacy v1
-    format that spelled every term out in place.
+    Accepts the current dictionary-encoded format, the legacy v1 format that
+    spelled every term out in place, and the v3 store-reference format
+    (which opens the referenced store file read-only).
     """
     marker = payload.get("format")
+    if marker == _FRAGMENT_FORMAT_V3:
+        from ..persist import ClusterStore
+
+        with ClusterStore.open(payload["store_path"], read_only=True) as store:
+            return store.load_fragment(
+                int(payload["fragment_id"]), up_to=int(payload["delta_seq"])
+            )
     if marker == _FRAGMENT_FORMAT_V1:
         return Fragment(
             fragment_id=int(payload["fragment_id"]),

@@ -24,10 +24,11 @@ stored alongside a partitioned workspace or shipped between sites.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
 
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import IRI
+from ..rdf.terms import IRI, Node
+from ..rdf.triples import Triple
 
 
 @dataclass
@@ -102,8 +103,11 @@ class GraphStatistics:
         if not total_vertices:
             return 0.0
         # Use each bucket's geometric midpoint as the representative degree.
+        # Buckets are summed in sorted order so the float accumulation is
+        # identical however the histogram dict was built (collected fresh,
+        # patched in place, or deserialized from a store file).
         weighted = 0.0
-        for bucket, vertices in self.degree_histogram.items():
+        for bucket, vertices in sorted(self.degree_histogram.items()):
             low = 2 ** (bucket - 1) if bucket > 0 else 0
             high = 2**bucket - 1 if bucket > 0 else 0
             weighted += vertices * ((low + high) / 2.0 or 1.0)
@@ -144,6 +148,20 @@ class GraphStatistics:
             degree_histogram=histogram,
         )
 
+    def replace_with(self, other: "GraphStatistics") -> None:
+        """Overwrite this summary in place with ``other``'s contents.
+
+        Planners and optimizers hold references to one statistics object;
+        refreshing *in place* updates every holder at once instead of
+        leaving them bound to a stale snapshot.
+        """
+        self.num_triples = other.num_triples
+        self.num_vertices = other.num_vertices
+        self.predicates.clear()
+        self.predicates.update(other.predicates)
+        self.degree_histogram.clear()
+        self.degree_histogram.update(other.degree_histogram)
+
     def summary(self) -> str:
         """One-line human rendering used by ``repro explain``."""
         return (
@@ -176,6 +194,62 @@ def collect_statistics(graph: RDFGraph) -> GraphStatistics:
         bucket = degree_bucket(graph.degree(vertex))
         stats.degree_histogram[bucket] = stats.degree_histogram.get(bucket, 0) + 1
     return stats
+
+
+def apply_statistics_ops(
+    stats: GraphStatistics,
+    graph: RDFGraph,
+    ops: Iterable[Tuple[str, Triple]],
+) -> None:
+    """Patch ``stats`` in place for a journal window of ``graph`` mutations.
+
+    ``graph`` must already reflect the ops (they come from its own journal).
+    The patch is *exact*: every touched predicate summary is recomputed from
+    the graph's indexes, and the degree histogram is adjusted by walking each
+    affected vertex's degree delta backwards — the result equals a fresh
+    :func:`collect_statistics` of the mutated graph.
+    """
+    touched_predicates = set()
+    degree_delta: Dict[Node, int] = {}
+    triple_delta = 0
+    for op, triple in ops:
+        touched_predicates.add(triple.predicate)
+        step = 1 if op == "+" else -1
+        triple_delta += step
+        # A self-loop contributes to both the out- and in-degree.
+        degree_delta[triple.subject] = degree_delta.get(triple.subject, 0) + step
+        degree_delta[triple.object] = degree_delta.get(triple.object, 0) + step
+    stats.num_triples += triple_delta
+    for predicate in touched_predicates:
+        count = graph.count(predicate=predicate)
+        if count == 0:
+            stats.predicates.pop(predicate, None)
+            continue
+        per_predicate = stats.predicates.get(predicate)
+        if per_predicate is None:
+            per_predicate = PredicateStatistics()
+            stats.predicates[predicate] = per_predicate
+        per_predicate.count = count
+        per_predicate.distinct_subjects = len(graph.subjects(predicate=predicate))
+        per_predicate.distinct_objects = len(graph.objects(predicate=predicate))
+    histogram = stats.degree_histogram
+    for vertex, delta in degree_delta.items():
+        if delta == 0:
+            continue
+        new_degree = graph.degree(vertex)
+        old_degree = new_degree - delta
+        if old_degree > 0:
+            bucket = degree_bucket(old_degree)
+            remaining = histogram.get(bucket, 0) - 1
+            if remaining:
+                histogram[bucket] = remaining
+            else:
+                histogram.pop(bucket, None)
+            stats.num_vertices -= 1
+        if new_degree > 0:
+            bucket = degree_bucket(new_degree)
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+            stats.num_vertices += 1
 
 
 def merge_statistics(parts: Iterable[GraphStatistics]) -> GraphStatistics:

@@ -13,11 +13,18 @@ exposes both the triple view and the graph view.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .terms import IRI, Literal, Node, Term
 from .triples import Triple
+
+#: How many of the most recent mutations each graph remembers.  Derived
+#: structures (the encoded view, signature index, statistics) patch
+#: themselves from this window; falling off the end of it simply degrades
+#: to the pre-delta behaviour of a full rebuild, so the bound trades a
+#: little memory for never penalising bulk loads.
+JOURNAL_LIMIT = 4096
 
 
 class RDFGraph:
@@ -38,6 +45,10 @@ class RDFGraph:
         # views (e.g. the dictionary-encoded kernel in repro.store.encoding)
         # can cache themselves against one graph state and rebuild lazily.
         self._version = 0
+        # Bounded journal of the most recent mutations, each entry being
+        # ``(version-after-the-op, "+"|"-", triple)``.  Consumers call
+        # :meth:`journal_since` to patch incrementally instead of rebuilding.
+        self._journal: Deque[Tuple[int, str, Triple]] = deque(maxlen=JOURNAL_LIMIT)
         # Permutation indexes.
         self._spo: Dict[Node, Dict[IRI, Set[Node]]] = defaultdict(lambda: defaultdict(set))
         self._pos: Dict[IRI, Dict[Node, Set[Node]]] = defaultdict(lambda: defaultdict(set))
@@ -64,6 +75,7 @@ class RDFGraph:
         self._out[s].add(triple)
         self._in[o].add(triple)
         self._version += 1
+        self._journal.append((self._version, "+", triple))
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -82,7 +94,28 @@ class RDFGraph:
         self._out[s].discard(triple)
         self._in[o].discard(triple)
         self._version += 1
+        self._journal.append((self._version, "-", triple))
         return True
+
+    def journal_since(self, version: int) -> Optional[List[Tuple[str, Triple]]]:
+        """The ``("+"|"-", triple)`` ops that took the graph from ``version``
+        to its current state, oldest first.
+
+        Returns ``None`` when the window is unknowable — ``version`` is ahead
+        of the graph, or the ops have already fallen out of the bounded
+        journal — in which case callers must fall back to a full rebuild.
+        """
+        if version == self._version:
+            return []
+        if version > self._version:
+            return None
+        needed = self._version - version
+        if needed > len(self._journal):
+            return None
+        entries = list(self._journal)[-needed:]
+        if entries[0][0] != version + 1:  # pragma: no cover - defensive
+            return None
+        return [(op, triple) for _, op, triple in entries]
 
     # ------------------------------------------------------------------
     # Triple view

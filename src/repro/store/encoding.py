@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node, Term
+from ..rdf.triples import Triple
 
 #: Predicate code of a query edge whose predicate is a variable ("any label").
 PREDICATE_ANY = -1
@@ -103,6 +104,24 @@ class TermDictionary:
         terms = self._terms
         return {terms[term_id] for term_id in ids}
 
+    def ensure(self, term: Term) -> int:
+        """The id of ``term``, appending a fresh id for unseen terms.
+
+        Appended ids break the "sorted ids == sorted candidates" invariant
+        for the *new* terms only; the delta machinery keeps determinism by
+        making every replica of a graph apply the identical op sequence from
+        the identical base, so appended ids agree everywhere (see
+        docs/persistence.md).
+        """
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._terms)
+        self._terms.append(term)
+        self._n3.append(term.n3())
+        self._ids[term] = term_id
+        return term_id
+
 
 class EncodedGraph:
     """Integer adjacency indexes over one :class:`~repro.rdf.graph.RDFGraph`.
@@ -164,8 +183,11 @@ class EncodedGraph:
         self._all_objects: Set[int] = set(in_nbrs)
         self._vertex_ids: Set[int] = self._all_subjects | self._all_objects
         # Ids are assigned in candidate-sort order, so this is the "all
-        # vertices" candidate pool, pre-sorted once at encode time.
-        self._sorted_vertex_ids: Tuple[int, ...] = tuple(sorted(self._vertex_ids))
+        # vertices" candidate pool, pre-sorted once at encode time.  It is
+        # recomputed lazily after in-place patches (apply_ops sets it None).
+        self._sorted_vertex_ids: Optional[Tuple[int, ...]] = tuple(
+            sorted(self._vertex_ids)
+        )
         self._num_triples = len(graph)
 
     # ------------------------------------------------------------------
@@ -183,6 +205,8 @@ class EncodedGraph:
     @property
     def sorted_vertex_ids(self) -> Tuple[int, ...]:
         """All vertex ids in canonical (= candidate sort) order."""
+        if self._sorted_vertex_ids is None:
+            self._sorted_vertex_ids = tuple(sorted(self._vertex_ids))
         return self._sorted_vertex_ids
 
     def is_vertex(self, term_id: int) -> bool:
@@ -261,6 +285,90 @@ class EncodedGraph:
             return object_id in self._in_nbrs
         return False
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_ops(self, ops: Iterable[Tuple[str, Triple]]) -> None:
+        """Patch the indexes in place for a journal window of graph ops.
+
+        ``ops`` is a list of ``("+"|"-", triple)`` pairs in mutation order,
+        as returned by :meth:`RDFGraph.journal_since`.  New terms get fresh
+        appended dictionary ids; removals scrub empty inner containers so a
+        patched encoding answers every probe exactly like a cold rebuild of
+        the same triples would.
+        """
+        ensure = self.dictionary.ensure
+        for op, triple in ops:
+            s = ensure(triple.subject)
+            p = ensure(triple.predicate)
+            o = ensure(triple.object)
+            if op == "+":
+                self._add_ids(s, p, o)
+            else:
+                self._remove_ids(s, p, o)
+        self._sorted_vertex_ids = None
+
+    def _add_ids(self, s: int, p: int, o: int) -> None:
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._out_nbrs.setdefault(s, set()).add(o)
+        self._in_nbrs.setdefault(o, set()).add(s)
+        self._p_subjects.setdefault(p, set()).add(s)
+        self._p_objects.setdefault(p, set()).add(o)
+        self._all_subjects.add(s)
+        self._all_objects.add(o)
+        self._vertex_ids.add(s)
+        self._vertex_ids.add(o)
+        self._num_triples += 1
+
+    def _remove_ids(self, s: int, p: int, o: int) -> None:
+        objects = self._spo[s][p]
+        objects.discard(o)
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        subjects = self._pos[p][o]
+        subjects.discard(s)
+        if not subjects:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        labels = self._osp[o][s]
+        labels.discard(p)
+        if not labels:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+            # The last (s, ?, o) edge is gone: drop the neighbour links.
+            out = self._out_nbrs[s]
+            out.discard(o)
+            if not out:
+                del self._out_nbrs[s]
+                self._all_subjects.discard(s)
+            into = self._in_nbrs[o]
+            into.discard(s)
+            if not into:
+                del self._in_nbrs[o]
+                self._all_objects.discard(o)
+        if p not in self._spo.get(s, _EMPTY_DICT):
+            subjects_of_p = self._p_subjects.get(p)
+            if subjects_of_p is not None:
+                subjects_of_p.discard(s)
+                if not subjects_of_p:
+                    del self._p_subjects[p]
+        if o not in self._pos.get(p, _EMPTY_DICT):
+            objects_of_p = self._p_objects.get(p)
+            if objects_of_p is not None:
+                objects_of_p.discard(o)
+                if not objects_of_p:
+                    del self._p_objects[p]
+        for vertex in (s, o):
+            if vertex not in self._out_nbrs and vertex not in self._in_nbrs:
+                self._vertex_ids.discard(vertex)
+        self._num_triples -= 1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"<EncodedGraph terms={len(self.dictionary)} "
@@ -274,6 +382,11 @@ class EncodedGraph:
 #: gauge; a count that climbs query-over-query means graphs are being
 #: mutated (or recreated) between queries and the encoding cache is cold.
 _REBUILDS = 0
+#: Process-local count of in-place :meth:`EncodedGraph.apply_ops` patches
+#: performed by :func:`encoded_view` instead of full rebuilds.  Exposed as
+#: the ``repro_encoded_graph_patches`` gauge: with the delta machinery in
+#: place, mutations should move this counter, not ``_REBUILDS``.
+_PATCHES = 0
 _REBUILDS_LOCK = threading.Lock()
 
 #: Serializes cache-miss rebuilds in :func:`encoded_view`: two queries
@@ -294,15 +407,53 @@ def encoded_rebuilds() -> int:
         return _REBUILDS
 
 
+def encoded_patches() -> int:
+    """How many in-place encoding patches this process has performed."""
+    with _REBUILDS_LOCK:
+        return _PATCHES
+
+
+def patch_encoded_view(
+    graph: RDFGraph,
+    encoded: EncodedGraph,
+    ops: Iterable[Tuple[str, Triple]],
+) -> EncodedGraph:
+    """Bring ``graph``'s cached encoding up to date by applying ``ops`` directly.
+
+    The delta-application entry point for the cluster/persistence layer:
+    ``encoded`` must be the view obtained from :func:`encoded_view` *before*
+    the mutations, and ``ops`` the exact op sequence since.  Unlike the lazy
+    journal path inside :func:`encoded_view`, this never falls back to a
+    rebuild, so the final encoding (including appended dictionary ids) is a
+    pure function of (base state, op sequence) — independent of the graph's
+    bounded journal and of how the ops were batched.  That purity is what
+    lets a replica that replays the same ops from the same base (a reopened
+    store file, a process-pool worker) end up with the bit-identical
+    encoding.
+    """
+    global _PATCHES
+    with _BUILD_LOCK:
+        cached = getattr(graph, _CACHE_ATTRIBUTE, None)
+        if cached is not None and cached[0] == graph.version:
+            return cached[1]
+        encoded.apply_ops(ops)
+        setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
+        with _REBUILDS_LOCK:
+            _PATCHES += 1
+        return encoded
+
+
 def encoded_view(graph: RDFGraph) -> EncodedGraph:
     """The (cached) dictionary-encoded view of ``graph``.
 
-    Built lazily on first use, cached on the graph object, and rebuilt when
-    the graph's :attr:`~repro.rdf.graph.RDFGraph.version` moves — i.e. the
-    encoding is invalidated by mutation exactly like the signature index and
-    the planner statistics, but revalidation is a version compare, not an
-    eager rebuild.
+    Built lazily on first use and cached on the graph object.  When the
+    graph's :attr:`~repro.rdf.graph.RDFGraph.version` moves, the cached
+    encoding is *patched in place* from the graph's mutation journal
+    (:meth:`RDFGraph.journal_since`); only when the journal window has been
+    exceeded — e.g. by a bulk load — does the encoding fall back to a full
+    rebuild.
     """
+    global _REBUILDS, _PATCHES
     cached = getattr(graph, _CACHE_ATTRIBUTE, None)
     if cached is not None and cached[0] == graph.version:
         return cached[1]
@@ -310,9 +461,17 @@ def encoded_view(graph: RDFGraph) -> EncodedGraph:
         cached = getattr(graph, _CACHE_ATTRIBUTE, None)
         if cached is not None and cached[0] == graph.version:
             return cached[1]
+        if cached is not None:
+            ops = graph.journal_since(cached[0])
+            if ops is not None:
+                encoded = cached[1]
+                encoded.apply_ops(ops)
+                setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
+                with _REBUILDS_LOCK:
+                    _PATCHES += 1
+                return encoded
         encoded = EncodedGraph(graph)
         setattr(graph, _CACHE_ATTRIBUTE, (graph.version, encoded))
-        global _REBUILDS
         with _REBUILDS_LOCK:
             _REBUILDS += 1
         return encoded

@@ -75,6 +75,19 @@ class SignatureIndex:
         self._graph = graph
         self._rebuild(encoded_view(graph))
 
+    def _signature_masks(self, s: int, p: int, o: int) -> Tuple[int, int]:
+        """The ``(subject_bits, object_bits)`` one data edge contributes."""
+        dictionary = self._encoded.dictionary
+        value = dictionary.term_of(p).value  # data predicates are IRIs
+        width = self._width
+        subject_bits = (1 << _hash_position(f"out|{value}", width)) | (
+            1 << _hash_position(f"out|{value}|{dictionary.n3_of(o)}", width)
+        )
+        object_bits = (1 << _hash_position(f"in|{value}", width)) | (
+            1 << _hash_position(f"in|{value}|{dictionary.n3_of(s)}", width)
+        )
+        return subject_bits, object_bits
+
     def _rebuild(self, encoded: EncodedGraph) -> None:
         """One pass over the encoded triples; bits are stored per term id."""
         width = self._width
@@ -111,19 +124,42 @@ class SignatureIndex:
             bits_by_id[o] |= in_mask | in_pair
         self._bits_by_id = bits_by_id
         self._encoded = encoded
+        self._applied_version = self._graph.version
 
     def _current(self) -> EncodedGraph:
         """The graph's current encoded view, resyncing the bits if stale.
 
-        The graph may have been mutated since this index was built; dense
-        ids shift on every rebuild of the encoding, so serving id-indexed
-        bits against a newer view would read another term's signature.
-        Rebuilding lazily here mirrors :func:`repro.store.encoded_view`'s
-        own version-keyed lifecycle.
+        The graph may have been mutated since this index was built.  When
+        the mutation window is available from the graph's journal and
+        contains only additions, the bits are patched in place (OR-ing new
+        edge masks is exact — signature bits are a union over incident
+        edges).  Any removal, or a journal gap, forces a full rebuild:
+        removals cannot *clear* bits (another edge may have hashed to the
+        same position), and serving superset bits would make this replica's
+        candidate sets diverge from a freshly built one.
         """
         encoded = encoded_view(self._graph)
         if encoded is not self._encoded:
             self._rebuild(encoded)
+            return encoded
+        if self._applied_version != self._graph.version:
+            ops = self._graph.journal_since(self._applied_version)
+            if ops is None or any(op == "-" for op, _ in ops):
+                self._rebuild(encoded)
+                return encoded
+            bits_by_id = self._bits_by_id
+            dictionary = encoded.dictionary
+            if len(bits_by_id) < len(dictionary):
+                bits_by_id.extend([0] * (len(dictionary) - len(bits_by_id)))
+            id_of = dictionary.id_of
+            for _, triple in ops:
+                s = id_of(triple.subject)
+                p = id_of(triple.predicate)
+                o = id_of(triple.object)
+                subject_bits, object_bits = self._signature_masks(s, p, o)
+                bits_by_id[s] |= subject_bits
+                bits_by_id[o] |= object_bits
+            self._applied_version = self._graph.version
         return encoded
 
     @property

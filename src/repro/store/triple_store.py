@@ -13,7 +13,11 @@ from typing import Dict, Iterable, Optional, Set
 
 from ..planner.optimizer import QueryPlanner
 from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
-from ..planner.statistics import GraphStatistics, collect_statistics
+from ..planner.statistics import (
+    GraphStatistics,
+    apply_statistics_ops,
+    collect_statistics,
+)
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import Node, PatternTerm
 from ..rdf.triples import Triple
@@ -47,6 +51,8 @@ class TripleStore:
         self._use_planner = use_planner
         self._plan_cache_size = plan_cache_size
         self._planner: Optional[QueryPlanner] = None
+        # Graph version the cached statistics reflect (see _sync).
+        self._stats_version = self._graph.version
 
     # ------------------------------------------------------------------
     # Loading
@@ -60,23 +66,38 @@ class TripleStore:
         return self._graph.name
 
     def load(self, triples: Iterable[Triple]) -> int:
-        """Bulk-load triples, invalidating the indexes; return the number added."""
-        added = self._graph.add_all(triples)
-        if added:
-            self._invalidate()
-        return added
+        """Bulk-load triples; derived indexes resync lazily on next use."""
+        return self._graph.add_all(triples)
 
     def add(self, triple: Triple) -> bool:
-        added = self._graph.add(triple)
-        if added:
-            self._invalidate()
-        return added
+        return self._graph.add(triple)
 
-    def _invalidate(self) -> None:
-        self._signatures = None
-        self._matcher = None
-        self._statistics = None
-        self._planner = None
+    def discard(self, triple: Triple) -> bool:
+        """Remove ``triple`` if present; indexes resync lazily on next use."""
+        return self._graph.discard(triple)
+
+    def _sync(self) -> None:
+        """Bring the cached statistics (and plan cache) up to the graph.
+
+        The signature index and encoded view maintain themselves against
+        :attr:`RDFGraph.version`; statistics are this store's to keep.  A
+        contiguous journal window is patched in place (exact — see
+        :func:`repro.planner.statistics.apply_statistics_ops`), a gap falls
+        back to a fresh collection copied into the *same* object so the
+        planner and optimizer, which hold a reference to it, see the update.
+        Either way the plan cache is cleared: cached orders were chosen
+        against the old statistics.
+        """
+        if self._statistics is None or self._stats_version == self._graph.version:
+            return
+        ops = self._graph.journal_since(self._stats_version)
+        if ops is not None:
+            apply_statistics_ops(self._statistics, self._graph, ops)
+        else:
+            self._statistics.replace_with(collect_statistics(self._graph))
+        self._stats_version = self._graph.version
+        if self._planner is not None:
+            self._planner.cache.clear()
 
     def __len__(self) -> int:
         return len(self._graph)
@@ -104,10 +125,26 @@ class TripleStore:
     @property
     def statistics(self) -> GraphStatistics:
         """Planner statistics for this store's graph (computed once, lazily,
-        and invalidated whenever the graph changes)."""
+        then patched incrementally as the graph mutates)."""
         if self._statistics is None:
             self._statistics = collect_statistics(self._graph)
+            self._stats_version = self._graph.version
+        else:
+            self._sync()
         return self._statistics
+
+    def preload_statistics(self, statistics: GraphStatistics) -> None:
+        """Adopt previously collected statistics for the graph's current state.
+
+        Used by the persistence layer to skip the collection pass when a
+        store file already carries the summary.  The caller asserts that
+        ``statistics`` describes the graph exactly as it stands now.
+        """
+        self._statistics = statistics
+        self._stats_version = self._graph.version
+        if self._planner is not None:
+            self._planner = None
+            self._matcher = None
 
     @property
     def planner(self) -> Optional[QueryPlanner]:
@@ -116,6 +153,8 @@ class TripleStore:
             return None
         if self._planner is None:
             self._planner = QueryPlanner(self.statistics, cache_size=self._plan_cache_size)
+        else:
+            self._sync()
         return self._planner
 
     def enable_planner(self, plan_cache_size: Optional[int] = None) -> QueryPlanner:
@@ -146,6 +185,11 @@ class TripleStore:
     def matcher(self) -> LocalMatcher:
         if self._matcher is None:
             self._matcher = LocalMatcher(self._graph, self.signatures, planner=self.planner)
+        else:
+            # The matcher's graph/signature references self-maintain against
+            # the graph version; the statistics behind its planner are ours
+            # to refresh (and stale plan-cache entries to drop).
+            self._sync()
         return self._matcher
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ EXPECTED_FAMILIES = (
     "repro_stage_seconds",
     "repro_executor_pool_size",
     "repro_encoded_graph_rebuilds",
+    "repro_encoded_graph_patches",
 )
 
 

@@ -32,20 +32,36 @@ class TestLoading:
 
 
 class TestIndexInvalidation:
-    def test_signature_index_rebuilt_after_load(self):
+    def test_signature_index_resyncs_after_load(self):
         store = TripleStore()
         store.load([Triple(A, KNOWS, B)])
         first = store.signatures
+        before = first.signature_of(B).bits
         store.load([Triple(B, KNOWS, C)])
-        assert store.signatures is not first
-        assert store.signatures.signature_of(B).bits != 0
+        # The index object survives the mutation (it patches itself in
+        # place from the graph's journal) but must serve fresh bits.
+        assert store.signatures is first
+        after = store.signatures.signature_of(B).bits
+        assert after != 0
+        assert after != before
 
-    def test_matcher_rebuilt_after_load(self):
+    def test_matcher_survives_mutation_and_stays_correct(self):
         store = TripleStore()
         store.load([Triple(A, KNOWS, B)])
         first = store.matcher
         store.add(Triple(B, KNOWS, C))
-        assert store.matcher is not first
+        assert store.matcher is first
+        query = QueryGraph(BasicGraphPattern([TriplePattern(Variable("x"), KNOWS, Variable("y"))]))
+        assert len(list(store.find_matches(query))) == 2
+
+    def test_removal_resyncs_indexes(self):
+        store = TripleStore()
+        store.load([Triple(A, KNOWS, B), Triple(B, KNOWS, C)])
+        query = QueryGraph(BasicGraphPattern([TriplePattern(Variable("x"), KNOWS, Variable("y"))]))
+        assert len(list(store.find_matches(query))) == 2
+        assert store.discard(Triple(B, KNOWS, C))
+        assert len(list(store.find_matches(query))) == 1
+        assert store.statistics.num_triples == 1
 
 
 class TestQuerying:

@@ -12,10 +12,12 @@ import repro.api
 #: Everything ``repro`` exports — keep sorted.
 REPRO_EXPORTS = [
     "ABLATION_CONFIGS",
+    "AppliedDelta",
     "AsyncSession",
     "Binding",
     "CentralizedEngine",
     "Cluster",
+    "ClusterStore",
     "DistributedResult",
     "EngineConfig",
     "ExecutorBackend",
@@ -49,6 +51,7 @@ REPRO_EXPORTS = [
     "Session",
     "ShipmentSnapshot",
     "StageProfiler",
+    "StoreError",
     "ThreadPoolBackend",
     "Trace",
     "Tracer",

@@ -629,3 +629,75 @@ class TestServe:
             assert not thread.is_alive()
         finally:
             QueryServer.serve_forever = real_serve_forever
+
+
+class TestStore:
+    def test_store_build_writes_a_store_file(self, tmp_path, capsys):
+        path = tmp_path / "paper.store"
+        exit_code = main(["store", "build", "--output", str(path)])
+        assert exit_code == 0
+        assert path.exists()
+        output = capsys.readouterr().out
+        assert "built" in output
+        assert "file_bytes:" in output
+
+    def test_store_build_refuses_to_clobber_without_force(self, tmp_path, capsys):
+        path = tmp_path / "paper.store"
+        assert main(["store", "build", "--output", str(path)]) == 0
+        capsys.readouterr()
+        exit_code = main(["store", "build", "--output", str(path)])
+        assert exit_code == 2
+        message = capsys.readouterr().err
+        assert "error" in message
+        assert "--force" in message
+
+    def test_store_build_force_rebuilds(self, tmp_path, capsys):
+        path = tmp_path / "paper.store"
+        assert main(["store", "build", "--output", str(path)]) == 0
+        assert main(["store", "build", "--output", str(path), "--force"]) == 0
+
+    def test_store_info_prints_the_manifest(self, tmp_path, capsys):
+        path = tmp_path / "paper.store"
+        main(["store", "build", "--output", str(path)])
+        capsys.readouterr()
+        exit_code = main(["store", "info", str(path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "dataset: paper-example" in output
+        assert "pending_deltas: 0" in output
+
+    def test_store_info_missing_file_is_exit_two(self, tmp_path, capsys):
+        exit_code = main(["store", "info", str(tmp_path / "missing.store")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_store_compact_folds_the_journal(self, tmp_path, capsys):
+        from repro.persist import ClusterStore
+        from repro.rdf import IRI, Triple
+
+        path = tmp_path / "paper.store"
+        main(["store", "build", "--output", str(path)])
+        with ClusterStore.open(str(path)) as store:
+            cluster = store.load_cluster()
+            cluster.apply(add=[Triple(
+                IRI("http://example.org/cli-s"),
+                IRI("http://example.org/cli-p"),
+                IRI("http://example.org/cli-o"),
+            )])
+            cluster.attach_store(None)
+        capsys.readouterr()
+        exit_code = main(["store", "compact", str(path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "folded 1 delta" in output
+
+    def test_queries_over_a_built_store_match_the_example(self, tmp_path, capsys):
+        import repro
+
+        path = tmp_path / "paper.store"
+        main(["store", "build", "--output", str(path)])
+        with repro.open(dataset="paper") as baseline:
+            expected = baseline.query("example")
+            with repro.open(path=str(path)) as warm:
+                observed = warm.query("example")
+                assert observed.same_solutions(expected)

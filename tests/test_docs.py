@@ -181,6 +181,26 @@ def test_docs_cover_the_fault_surface():
         assert f"`{stage}`" in text, f"docs/faults.md does not document stage {stage!r}"
 
 
+def test_docs_cover_the_persistence_surface():
+    text = (REPO_ROOT / "docs" / "persistence.md").read_text(encoding="utf-8")
+    for required in (
+        "repro store",
+        "ClusterStore",
+        "schema_version",
+        "delta_head",
+        "compact",
+        "repro-fragment/3",
+        "delta_seq",
+        "read-only",
+        "repro_encoded_graph_rebuilds",
+        "repro_encoded_graph_patches",
+        "BENCH_persist.json",
+        "persist-smoke",
+        "determinism",
+    ):
+        assert required in text, f"docs/persistence.md no longer mentions {required}"
+
+
 def test_docs_cover_every_benchmark_module():
     text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
     for module in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
@@ -196,5 +216,6 @@ def test_readme_points_into_the_docs_tree():
         "docs/observability.md",
         "docs/serving.md",
         "docs/faults.md",
+        "docs/persistence.md",
     ):
         assert target in text, f"README.md does not link to {target}"

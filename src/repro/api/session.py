@@ -26,7 +26,8 @@ shuts the backend's worker pools down.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.config import EngineConfig
 from ..datasets.registry import DATASETS, get_dataset
@@ -85,6 +86,53 @@ def _partition(strategy: str, num_sites: int, graph: RDFGraph):
         ) from None
 
 
+class _ReadWriteGate:
+    """Many concurrent readers (queries) or one exclusive writer (update).
+
+    Writers are preferred: once one waits, new readers queue behind it, so
+    a steady stream of queries cannot starve a mutation.  Neither side is
+    reentrant — a query never issues another query or an update on the same
+    thread, and ``update`` never queries.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
 class QueryBatch:
     """What :meth:`Session.query_many` returns: results plus a batch report.
 
@@ -126,6 +174,8 @@ class Session:
     and lifecycle are lock-guarded, and the determinism contract holds —
     a query returns the same answers, statistics and shipment fingerprint
     whether it ran alone or next to others (``docs/serving.md``).
+    :meth:`update` serializes against in-flight queries through an exclusive
+    writer gate, so mutating a session that is also serving traffic is safe.
     """
 
     def __init__(
@@ -195,6 +245,11 @@ class Session:
         # Guards lazy engine construction and close(); per-query state never
         # takes it, so queries only contend here on an engine's first use.
         self._lock = threading.RLock()
+        # Serializes update() against in-flight queries: every query holds
+        # the read side for its whole execution, update() takes the write
+        # side, so a mutation can never interleave with a query that would
+        # observe half-patched encodings or fragments.
+        self._mutation_gate = _ReadWriteGate()
         #: Opt-in result cache (``result_cache=N`` entries); ``None`` — the
         #: default — preserves the execute-every-call contract.
         self.result_cache: Optional[ResultCache] = (
@@ -331,8 +386,22 @@ class Session:
         including failures, which finish the trace with an ``error``
         attribute and count into ``repro_query_failures_total`` before the
         exception propagates.
+
+        Queries hold the session's mutation gate (read side) while they run,
+        so a concurrent :meth:`update` waits for them instead of mutating
+        the cluster under their feet.
         """
         self._ensure_open()
+        with self._mutation_gate.read():
+            return self._execute(query, engine=engine, query_name=query_name)
+
+    def _execute(
+        self,
+        query: Union[str, SelectQuery],
+        *,
+        engine: Optional[str],
+        query_name: str,
+    ) -> Result:
         chosen = self.engine(engine)
         engine_label = getattr(chosen, "name", str(engine or self.default_engine))
         trace: Optional[Trace] = None
@@ -458,12 +527,19 @@ class Session:
         and statistic is *patched* rather than rebuilt; and with a
         store-backed session (``repro.open(path=…)``) the effective ops are
         journaled to the store's write-ahead delta table before this returns,
-        so a reopened session resumes from the mutated state.  Do not run
-        queries concurrently with an update (the usual mutation contract).
-        Returns the :class:`~repro.distributed.AppliedDelta` summary.
+        so a reopened session resumes from the mutated state.
+
+        Updates take the session's mutation gate exclusively: an update
+        waits for every in-flight :meth:`query` (on any thread, including
+        :class:`~repro.api.AsyncSession` and ``repro serve`` traffic) to
+        drain, runs alone, and only then lets queued queries proceed — no
+        caller discipline required, and no query ever observes half-patched
+        encodings or fragments.  Returns the
+        :class:`~repro.distributed.AppliedDelta` summary.
         """
         self._ensure_open()
-        return self.cluster.apply(add=add, remove=remove)
+        with self._mutation_gate.write():
+            return self.cluster.apply(add=add, remove=remove)
 
     def explain(self, query: Union[str, SelectQuery]) -> str:
         """The cost-based plan for ``query`` (per connected component), as text."""

@@ -214,9 +214,13 @@ class Cluster:
         match sequences and shipment fingerprints stable across restarts.
 
         Callers must not run queries concurrently with ``apply`` (the same
-        contract as direct graph mutation).  With an attached store the
-        effective ops are appended to its write-ahead delta table before
-        this method returns.
+        contract as direct graph mutation; :meth:`Session.update
+        <repro.api.Session.update>` enforces it with an exclusive writer
+        gate).  With an attached store the effective ops are appended to its
+        write-ahead delta table before this method returns.  If that append
+        fails, the in-memory mutation has already happened while the store
+        rolled back — the raised exception carries a note naming the
+        divergence so the caller can re-snapshot or discard the store.
         """
         staged = [("-", triple) for triple in remove]
         staged.extend(("+", triple) for triple in add)
@@ -287,7 +291,21 @@ class Cluster:
                 self._coordinator_planner.cache.clear()
         self._mutation_epoch += 1
         if self._store is not None:
-            self._store.append_ops(master_ops)
+            try:
+                self._store.append_ops(master_ops)
+            except BaseException as error:
+                # The in-memory apply above already landed, but the journal
+                # rolled back: the live cluster is now *ahead* of the store,
+                # and a reopened store will not replay these ops.  Flag the
+                # divergence on the exception so the caller can re-snapshot
+                # (ClusterStore.create(..., overwrite=True)) or discard the
+                # live state instead of silently serving unjournaled data.
+                error.add_note(
+                    f"cluster/store divergence: {len(master_ops)} applied op(s) "
+                    f"were not journaled to {getattr(self._store, 'path', self._store)!s}; "
+                    "the store is behind the live cluster until re-snapshotted"
+                )
+                raise
         return AppliedDelta(added, removed)
 
     # ------------------------------------------------------------------

@@ -10,7 +10,13 @@ from .cost_model import (
     select_best_partitioning,
     star_query_lec_feature_count,
 )
-from .delta import DeltaEffect, DeltaRouter, apply_delta_effect, stable_fragment_of
+from .delta import (
+    DeltaEffect,
+    DeltaRouter,
+    apply_delta_effect,
+    stable_fragment_of,
+    stable_fragment_of_n3,
+)
 from .fragment import Fragment, PartitionedGraph, PartitioningError, build_partitioned_graph
 from .partitioners import (
     HashPartitioner,
@@ -66,5 +72,6 @@ __all__ = [
     "save_workspace",
     "select_best_partitioning",
     "stable_fragment_of",
+    "stable_fragment_of_n3",
     "star_query_lec_feature_count",
 ]

@@ -37,17 +37,28 @@ from ..rdf.triples import Triple
 from .fragment import Fragment
 
 
+def stable_fragment_of_n3(n3_text: str, num_fragments: int) -> int:
+    """:func:`stable_fragment_of` on an already-serialized N3 string.
+
+    The store's per-site bootstrap routes the delta journal on integer term
+    ids and only holds N3 *text* (not parsed terms) for unseen vertices;
+    hashing the text directly keeps that path decode-free while landing on
+    the exact fragment the live router chose.
+    """
+    value = 0xCBF29CE484222325
+    for char in n3_text.encode("utf-8"):
+        value ^= char
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value % num_fragments
+
+
 def stable_fragment_of(vertex: Node, num_fragments: int) -> int:
     """Deterministic fallback fragment for a vertex with no assigned endpoint.
 
     FNV-1a over the vertex's N3 text: stable across processes and platforms
     (``hash()`` is per-process randomized and would break replay parity).
     """
-    value = 0xCBF29CE484222325
-    for char in vertex.n3().encode("utf-8"):
-        value ^= char
-        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return value % num_fragments
+    return stable_fragment_of_n3(vertex.n3(), num_fragments)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,12 @@ Crash safety: every write happens inside one SQLite transaction with
 ``synchronous=FULL``, so a crash mid-commit leaves the previous committed
 state (SQLite's rollback journal restores it on the next open).  A torn
 ``apply`` therefore loses at most the op batch being journaled — never the
-base snapshot, never previously committed deltas.
+base snapshot, never previously committed deltas.  Snapshot rewrites
+(:meth:`ClusterStore.compact`) deliberately avoid DDL: DDL autocommits
+eagerly under pysqlite's legacy transaction handling, so tables are cleared
+with ``DELETE FROM`` inside one explicit ``BEGIN IMMEDIATE`` transaction —
+a crash mid-compaction rolls back to the pre-compaction store, never to an
+empty file.
 """
 
 from __future__ import annotations
@@ -125,6 +130,9 @@ class ClusterStore:
         connection = sqlite3.connect(str(path), check_same_thread=False)
         connection.execute("PRAGMA synchronous=FULL")
         try:
+            # DDL once, at creation time; snapshot rewrites never drop or
+            # recreate tables (see _write_snapshot).
+            connection.executescript(_SCHEMA)
             _write_snapshot(
                 connection,
                 partitioned,
@@ -252,41 +260,52 @@ class ClusterStore:
         Terms never seen before get appended dictionary ids in
         first-appearance order — the same discipline the in-memory
         :class:`~repro.store.TermDictionary` uses, so replayed encodings
-        agree with live ones.  The batch commits (and fsyncs) atomically.
+        agree with live ones.  The batch commits (and fsyncs) atomically;
+        ``self`` is only mutated *after* the commit, so a failed transaction
+        (disk full, busy timeout) leaves both the file and the in-memory
+        head/manifest exactly as they were — the next append reuses the same
+        sequence numbers instead of skipping past phantom ones.
         """
         if self._read_only:
             raise StoreError(f"store opened read-only: {self._path}")
         staged = list(ops)
         if not staged:
             return self._head
-        with self._lock, self._conn:
-            cursor = self._conn.cursor()
-            next_id = cursor.execute("SELECT COALESCE(MAX(id), -1) + 1 FROM terms").fetchone()[0]
-            rows = []
-            for op, triple in staged:
-                ids = []
-                for term in (triple.subject, triple.predicate, triple.object):
-                    text = term.n3()
-                    found = cursor.execute(
-                        "SELECT id FROM terms WHERE n3 = ?", (text,)
-                    ).fetchone()
-                    if found is None:
-                        cursor.execute(
-                            "INSERT INTO terms (id, n3) VALUES (?, ?)", (next_id, text)
-                        )
-                        ids.append(next_id)
-                        next_id += 1
-                    else:
-                        ids.append(found[0])
-                self._head += 1
-                rows.append((self._head, op, ids[0], ids[1], ids[2]))
-            cursor.executemany(
-                "INSERT INTO deltas (seq, op, s, p, o) VALUES (?, ?, ?, ?, ?)", rows
-            )
-            cursor.execute(
-                "UPDATE manifest SET value = ? WHERE key = 'delta_head'", (str(self._head),)
-            )
-        self._manifest["delta_head"] = str(self._head)
+        with self._lock:
+            head = self._head
+            with self._conn:
+                cursor = self._conn.cursor()
+                next_id = cursor.execute(
+                    "SELECT COALESCE(MAX(id), -1) + 1 FROM terms"
+                ).fetchone()[0]
+                rows = []
+                for op, triple in staged:
+                    ids = []
+                    for term in (triple.subject, triple.predicate, triple.object):
+                        text = term.n3()
+                        found = cursor.execute(
+                            "SELECT id FROM terms WHERE n3 = ?", (text,)
+                        ).fetchone()
+                        if found is None:
+                            cursor.execute(
+                                "INSERT INTO terms (id, n3) VALUES (?, ?)", (next_id, text)
+                            )
+                            ids.append(next_id)
+                            next_id += 1
+                        else:
+                            ids.append(found[0])
+                    head += 1
+                    rows.append((head, op, ids[0], ids[1], ids[2]))
+                cursor.executemany(
+                    "INSERT INTO deltas (seq, op, s, p, o) VALUES (?, ?, ?, ?, ?)", rows
+                )
+                cursor.execute(
+                    "UPDATE manifest SET value = ? WHERE key = 'delta_head'", (str(head),)
+                )
+            # Past this point the transaction is committed; only now may the
+            # in-memory view advance.
+            self._head = head
+            self._manifest["delta_head"] = str(head)
         return self._head
 
     # ------------------------------------------------------------------
@@ -317,6 +336,34 @@ class ClusterStore:
         if missing:  # pragma: no cover - defensive
             raise StoreError(f"unknown term ids {sorted(missing)[:5]} in {self._path}")
         return decoded
+
+    def _assign_term_id(
+        self,
+        term_id: int,
+        partner_id: int,
+        assign_ids: Dict[int, int],
+        num_fragments: int,
+    ) -> int:
+        """Sticky fragment of ``term_id``, mirroring ``DeltaRouter._assign``.
+
+        Operates purely on integer ids against the stored assignment; only a
+        vertex with no assignment *and* no assigned partner touches the terms
+        table, and then only to FNV-hash its N3 text — no term is parsed.
+        """
+        from ..partition.delta import stable_fragment_of_n3
+
+        fragment_id = assign_ids.get(term_id)
+        if fragment_id is None:
+            fragment_id = assign_ids.get(partner_id)
+            if fragment_id is None:
+                row = self._conn.execute(
+                    "SELECT n3 FROM terms WHERE id = ?", (term_id,)
+                ).fetchone()
+                if row is None:  # pragma: no cover - defensive
+                    raise StoreError(f"unknown term id {term_id} in {self._path}")
+                fragment_id = stable_fragment_of_n3(row[0], num_fragments)
+            assign_ids[term_id] = fragment_id
+        return fragment_id
 
     def load_deltas(
         self, terms: Optional[Mapping[int, Term]] = None
@@ -418,7 +465,13 @@ class ClusterStore:
         assignment table, never a scan of the full triple table — then
         force-encodes the base state and replays the delta journal through
         the same router/patch discipline the coordinator used, so the
-        worker's encoding matches the coordinator's bit for bit.
+        worker's encoding matches the coordinator's bit for bit.  The
+        journal is routed on integer term ids against the stored assignment
+        (replicating :class:`~repro.partition.delta.DeltaRouter`'s sticky
+        discipline, with the same FNV-1a fallback on the N3 text for terms
+        first seen by a delta), so only the terms of this fragment's base
+        edges and of the ops that actually touch it are ever decoded —
+        bootstrap stays O(|F_k| + |deltas|), never O(|V|).
 
         ``up_to`` bounds the replay at a delta sequence number (inclusive),
         so a worker bootstrapped from a payload pinned at ``delta_seq = n``
@@ -426,7 +479,7 @@ class ClusterStore:
         even if the file has grown since.
         """
         from ..distributed.site import Site
-        from ..partition.delta import DeltaRouter, apply_delta_effect
+        from ..partition.delta import DeltaEffect, apply_delta_effect
         from ..partition.fragment import Fragment
         from ..planner.plan_cache import DEFAULT_PLAN_CACHE_SIZE
         from ..store.encoding import encoded_view, patch_encoded_view
@@ -453,16 +506,27 @@ class ClusterStore:
         delta_rows = self._conn.execute(
             "SELECT op, s, p, o FROM deltas WHERE seq <= ? ORDER BY seq", (head,)
         ).fetchall()
-        if delta_rows:
-            # Replay routes every op against the full assignment, so decode
-            # the whole dictionary once.
-            all_terms = self._load_terms()
-            terms: Mapping[int, Term] = {i: t for i, t in enumerate(all_terms)}
-        else:
-            ids = set()
-            for s, p, o in edge_rows:
-                ids.update((s, p, o))
-            terms = self._decode_terms(ids)
+        # Route the whole journal on ids (the sticky assignment updates must
+        # run in sequence order), keeping only the ops that touch this
+        # fragment; DeltaRouter only ever *adds* assignments, so the base
+        # edge-classification lookups below are unaffected.
+        routed: List[Tuple[str, int, int, int, int, int]] = []
+        for op, s, p, o in delta_rows:
+            if op == "+":
+                home_s = self._assign_term_id(s, o, assign_ids, num_fragments)
+                home_o = self._assign_term_id(o, s, assign_ids, num_fragments)
+            else:
+                # A removed triple was present, so both endpoints are assigned.
+                home_s = assign_ids[s]
+                home_o = assign_ids[o]
+            if fragment_id in (home_s, home_o):
+                routed.append((op, s, p, o, home_s, home_o))
+        ids = set()
+        for s, p, o in edge_rows:
+            ids.update((s, p, o))
+        for _, s, p, o, _, _ in routed:
+            ids.update((s, p, o))
+        terms: Mapping[int, Term] = self._decode_terms(ids)
         fragment = Fragment(fragment_id)
         for s, p, o in edge_rows:
             triple = Triple(terms[s], terms[p], terms[o])
@@ -484,25 +548,33 @@ class ClusterStore:
         statistics = self.load_statistics(fragment_id)
         if statistics is not None:
             site.store.preload_statistics(statistics)
-        if delta_rows:
+        if routed:
             site_graph = site.store.graph
             base_encoded = encoded_view(site_graph)
-            assignment = {terms[tid]: fid for tid, fid in assign_ids.items()}
-            router = DeltaRouter(assignment, num_fragments)
             ops_here: List[Tuple[str, Triple]] = []
-            for op, s, p, o in delta_rows:
+            for op, s, p, o, home_s, home_o in routed:
                 triple = Triple(terms[s], terms[p], terms[o])
-                for effect in router.route(op, triple):
-                    if effect.fragment_id != fragment_id:
-                        continue
-                    if op == "+":
-                        site.store.add(triple)
-                    else:
-                        site.store.discard(triple)
-                    apply_delta_effect(fragment, effect, graph=site_graph)
-                    ops_here.append((op, triple))
-            if ops_here:
-                patch_encoded_view(site_graph, base_encoded, ops_here)
+                kind = "add" if op == "+" else "remove"
+                # At most one of the routed effects lands here: the internal
+                # effect when both endpoints are home, else the crossing
+                # replica whose extended endpoint is the foreign one.
+                if home_s == home_o:
+                    effect = DeltaEffect(kind, fragment_id, triple, crossing=False)
+                elif home_s == fragment_id:
+                    effect = DeltaEffect(
+                        kind, fragment_id, triple, crossing=True, extended=triple.object
+                    )
+                else:
+                    effect = DeltaEffect(
+                        kind, fragment_id, triple, crossing=True, extended=triple.subject
+                    )
+                if op == "+":
+                    site.store.add(triple)
+                else:
+                    site.store.discard(triple)
+                apply_delta_effect(fragment, effect, graph=site_graph)
+                ops_here.append((op, triple))
+            patch_encoded_view(site_graph, base_encoded, ops_here)
         if use_planner:
             site.enable_planner(plan_cache_size)
         else:
@@ -551,7 +623,18 @@ def _write_snapshot(
     scale: Optional[int],
     statistics: Optional[Mapping[int, GraphStatistics]],
 ) -> None:
-    """(Re)write every table from ``partitioned``'s current state, atomically."""
+    """(Re)write every table from ``partitioned``'s current state, atomically.
+
+    The schema already exists (created once by :meth:`ClusterStore.create`);
+    tables are cleared with ``DELETE FROM`` and refilled inside one explicit
+    ``BEGIN IMMEDIATE`` transaction.  DDL (``DROP``/``CREATE``/
+    ``executescript``) is deliberately absent: under pysqlite's legacy
+    transaction handling it autocommits eagerly, which would leave a window
+    where a crash strands the file with its tables dropped — on an existing
+    store (:meth:`ClusterStore.compact`) that would be permanent data loss.
+    Here a crash or error at any point rolls back to the previous committed
+    snapshot.
+    """
     graph = partitioned.graph
     assignment: Dict[Node, int] = partitioned.assignment
     terms = set(assignment)
@@ -561,12 +644,12 @@ def _write_snapshot(
         terms.add(triple.object)
     ordered = sorted(term.n3() for term in terms)
     term_id = {text: position for position, text in enumerate(ordered)}
-    with connection:
+    if connection.in_transaction:  # pragma: no cover - defensive
+        connection.commit()
+    connection.execute("BEGIN IMMEDIATE")
+    try:
         for table in _TABLES:
-            connection.execute(f"DROP TABLE IF EXISTS {table}")
-        connection.execute("DROP INDEX IF EXISTS triples_by_o")
-        connection.execute("DROP INDEX IF EXISTS assignment_by_fragment")
-        connection.executescript(_SCHEMA)
+            connection.execute(f"DELETE FROM {table}")
         connection.executemany(
             "INSERT INTO terms (id, n3) VALUES (?, ?)",
             ((position, text) for text, position in term_id.items()),
@@ -612,3 +695,7 @@ def _write_snapshot(
         connection.executemany(
             "INSERT INTO manifest (key, value) VALUES (?, ?)", manifest.items()
         )
+    except BaseException:
+        connection.rollback()
+        raise
+    connection.commit()

@@ -180,3 +180,98 @@ class TestResultCacheUnderMutation:
             # cannot leak into another's.
             results[0].statistics.num_results = -1
             assert results[1].statistics.num_results == baseline.statistics.num_results
+
+
+class TestUpdateSerialization:
+    """``Session.update`` holds an exclusive writer gate against queries.
+
+    PR 7 made one session safe under parallel queries; a mutation must
+    therefore wait for every in-flight query to drain (and hold new ones
+    back) instead of patching encodings and fragments under their feet.
+    """
+
+    def test_update_waits_for_inflight_queries(self):
+        from repro.rdf import IRI, Triple
+
+        with repro.open(dataset="paper", executor="serial") as session:
+            engine = session.engine()
+            query_entered = threading.Event()
+            release_query = threading.Event()
+            update_done = threading.Event()
+            real_execute = engine.execute
+
+            def slow_execute(*args, **kwargs):
+                query_entered.set()
+                assert release_query.wait(10)
+                return real_execute(*args, **kwargs)
+
+            engine.execute = slow_execute
+            ex = "http://example.org/"
+            added = Triple(IRI(ex + "Gated"), IRI(ex + "name"), IRI(ex + "GatedName"))
+
+            def run_query():
+                session.query("example")
+
+            def run_update():
+                assert query_entered.wait(10)
+                session.update(add=[added])
+                update_done.set()
+
+            query_thread = threading.Thread(target=run_query)
+            update_thread = threading.Thread(target=run_update)
+            query_thread.start()
+            update_thread.start()
+            assert query_entered.wait(10)
+            # The query is parked inside execute() holding the read side of
+            # the gate: the update must not complete until it finishes.
+            assert not update_done.wait(0.3)
+            release_query.set()
+            query_thread.join(10)
+            update_thread.join(10)
+            assert update_done.is_set()
+            assert added in set(session.graph)
+
+    def test_queries_issued_during_an_update_see_the_mutated_state(self):
+        from repro.distributed.cluster import Cluster
+        from repro.rdf import IRI, Triple
+
+        with repro.open(dataset="paper", executor="serial") as session:
+            ex = "http://example.org/"
+            added = Triple(IRI(ex + "Held"), IRI(ex + "name"), IRI(ex + "HeldName"))
+            update_entered = threading.Event()
+            release_update = threading.Event()
+            real_apply = Cluster.apply
+
+            def slow_apply(cluster, *args, **kwargs):
+                update_entered.set()
+                assert release_update.wait(10)
+                return real_apply(cluster, *args, **kwargs)
+
+            rows = []
+
+            def run_update():
+                session.update(add=[added])
+
+            def run_query():
+                assert update_entered.wait(10)
+                # Issued mid-update: must block until the writer releases,
+                # then observe the fully-applied mutation.
+                result = session.query(
+                    "PREFIX ex: <http://example.org/> "
+                    "SELECT ?n WHERE { ex:Held ex:name ?n . }"
+                )
+                rows.append(result.sorted_rows())
+
+            import unittest.mock
+
+            with unittest.mock.patch.object(Cluster, "apply", slow_apply):
+                update_thread = threading.Thread(target=run_update)
+                query_thread = threading.Thread(target=run_query)
+                update_thread.start()
+                query_thread.start()
+                assert update_entered.wait(10)
+                assert not rows  # the query is gated behind the writer
+                release_update.set()
+                update_thread.join(10)
+                query_thread.join(10)
+            assert len(rows) == 1 and len(rows[0]) == 1

@@ -131,6 +131,39 @@ class TestDeltaJournal:
         assert paper_store.info()["base_terms"] == base_terms + 3
         assert rows[_triple("fresh").subject.n3()] >= base_terms
 
+    def test_failed_append_leaves_head_and_journal_unchanged(self, paper_store, store_path):
+        """A rolled-back journal transaction must not advance the in-memory head.
+
+        Regression: the head used to be bumped while staging rows, so a
+        failed commit left ``delta_head`` pointing past phantom sequence
+        numbers and the next append journaled wrong seqs.
+        """
+        paper_store.append_ops([("+", _triple("a"))])
+        base_terms = paper_store.info()["base_terms"]
+        paper_store._conn.execute(
+            "CREATE TEMP TRIGGER fail_deltas BEFORE INSERT ON deltas"
+            " BEGIN SELECT RAISE(ABORT, 'injected failure'); END"
+        )
+        with pytest.raises(sqlite3.DatabaseError, match="injected"):
+            paper_store.append_ops([("+", _triple("b"))])
+        # Nothing moved: not the head, not the manifest, not the journal,
+        # not the term dictionary the rolled-back batch had extended.
+        assert paper_store.delta_head == 1
+        assert paper_store.manifest["delta_head"] == "1"
+        assert paper_store.info()["pending_deltas"] == 1
+        assert paper_store.info()["base_terms"] == base_terms
+        paper_store._conn.execute("DROP TRIGGER fail_deltas")
+        # The next append reuses the sequence the failed batch never claimed.
+        assert paper_store.append_ops([("+", _triple("c"))]) == 2
+        ops = paper_store.load_deltas()
+        assert [(op, triple) for op, triple in ops] == [
+            ("+", _triple("a")),
+            ("+", _triple("c")),
+        ]
+        paper_store.close()
+        with ClusterStore.open(store_path, read_only=True) as reopened:
+            assert reopened.delta_head == 2
+
 
 class TestClusterLoading:
     def test_loaded_cluster_matches_the_source(self, paper_store):
@@ -196,6 +229,29 @@ class TestSiteBootstrap:
             pinned = paper_store.bootstrap_site(site_id, up_to=head_before)
             assert pinned.fragment == site.fragment
 
+    def test_bootstrap_replay_never_decodes_the_full_dictionary(
+        self, paper_store, monkeypatch
+    ):
+        """With deltas pending, bootstrap must stay O(|F_k|), not O(|V|).
+
+        Regression: a single journaled delta used to trigger a full
+        ``_load_terms`` decode of the whole dictionary.  The id-level
+        routing must reproduce the live sites without it — including for
+        ops introducing brand-new vertices (stable-hash fallback) and
+        removals of base triples.
+        """
+        cluster = paper_store.load_cluster()
+        cluster.apply(add=[_triple("lazy")], remove=[next(iter(cluster.graph))])
+        monkeypatch.setattr(
+            ClusterStore,
+            "_load_terms",
+            lambda self: pytest.fail("bootstrap_site decoded the full dictionary"),
+        )
+        for site in cluster:
+            rebuilt = paper_store.bootstrap_site(site.site_id)
+            assert rebuilt.fragment == site.fragment
+            assert set(rebuilt.store.graph) == set(site.store.graph)
+
     def test_v3_payload_round_trips_through_the_store(self, paper_store):
         cluster = paper_store.load_cluster()
         cluster.apply(add=[_triple("z")])
@@ -221,3 +277,43 @@ class TestCompaction:
         compacted = paper_store.load_cluster()
         assert set(compacted.graph) == state_before
         compacted.partitioned_graph.validate()
+
+    def test_failed_compaction_rolls_back_to_the_previous_state(
+        self, paper_store, store_path, monkeypatch
+    ):
+        """An error mid-snapshot must leave the store exactly as it was.
+
+        Regression: the snapshot rewrite used to DROP and recreate the
+        tables, and DDL autocommits eagerly under pysqlite — an error after
+        the drops stranded the file with no manifest or data.  The rewrite
+        now runs as DELETE + INSERT inside one explicit transaction, so the
+        failure below rolls back to the pre-compaction store.
+        """
+        from repro.planner.statistics import GraphStatistics
+
+        cluster = paper_store.load_cluster()
+        cluster.apply(add=[_triple("k")], remove=[next(iter(cluster.graph))])
+        state_before = set(cluster.graph)
+        info_before = paper_store.info()
+        cluster.attach_store(None)
+        monkeypatch.setattr(
+            GraphStatistics,
+            "as_dict",
+            lambda self: (_ for _ in ()).throw(RuntimeError("injected failure")),
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            paper_store.compact()
+        monkeypatch.undo()
+        # Same head, same journal, same counts — and still loadable, both
+        # through the live handle and from a fresh open of the file.
+        assert paper_store.delta_head == info_before["delta_head"]
+        after = paper_store.info()
+        assert after["pending_deltas"] == info_before["pending_deltas"]
+        assert after["base_triples"] == info_before["base_triples"]
+        assert after["base_terms"] == info_before["base_terms"]
+        assert set(paper_store.load_cluster().graph) == state_before
+        paper_store.close()
+        with ClusterStore.open(store_path) as reopened:
+            recovered = reopened.load_cluster()
+            assert set(recovered.graph) == state_before
+            recovered.partitioned_graph.validate()

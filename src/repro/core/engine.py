@@ -54,6 +54,7 @@ from ..planner.plan import QueryPlan
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.query_graph import QueryGraph
+from ..store import finalize_matches
 from .assembly import AssemblyOutcome, assemble_matches
 from .candidate_exchange import GlobalCandidateFilter, union_site_vectors
 from .config import EngineConfig
@@ -230,7 +231,19 @@ class GStoreDEngine:
                 ctx.task_retries += result.attempts - 1
             timer.record(stage_name, result.site_id, result.elapsed_s)
             if trace is not None and result.span is not None:
-                trace.add_task_span(result.span)
+                span = trace.add_task_span(result.span)
+                # Stage outputs that know which matching kernel produced them
+                # (local/partial evaluation) annotate their task span, so the
+                # trace shows the kernel variant and its intersection count
+                # per site task.
+                kernel = getattr(result.value, "kernel", "")
+                if kernel:
+                    span.set(
+                        kernel=kernel,
+                        kernel_intersections=getattr(
+                            result.value, "kernel_intersections", 0
+                        ),
+                    )
             merged.append(result)
         return merged
 
@@ -438,26 +451,59 @@ class GStoreDEngine:
         trace: Optional[Trace] = None,
         profiler: Optional[StageProfiler] = None,
     ) -> List[Binding]:
-        """Evaluate a star query purely locally at every site."""
+        """Evaluate a star query purely locally at every site.
+
+        With ``config.shards_per_site > 1`` each site's search is fanned out
+        as that many depth-0 frontier shards (independent site tasks over the
+        same store).  The merge below reassembles each site: shard bindings
+        are concatenated in shard order and finalized once, reproducing the
+        unsharded site result bit for bit, and only then does *one* message
+        per site hit the bus — so answers, ``search_steps`` and shipment
+        accounting are identical for every shard count.
+        """
         stage = stats.stage(STAGE_PARTIAL_EVAL)
-        tasks = local_eval_tasks(self._live_site_ids(ctx), query)
+        shards = max(1, self.config.shards_per_site)
+        tasks = local_eval_tasks(self._live_site_ids(ctx), query, shards)
         all_bindings: List[Binding] = []
         with stage_scope(trace, profiler, STAGE_PARTIAL_EVAL, star_shortcut=True) as span:
+            # Group the results by site first: tasks come back in submission
+            # order (site ascending, then shard ascending), and a site whose
+            # shard died unrecoverably mid-stage must not ship the shards
+            # that did succeed.
+            outcomes_by_site: Dict[int, List[object]] = {}
+            site_order: List[int] = []
             for result in self._run_site_tasks(tasks, timer, STAGE_PARTIAL_EVAL, trace, ctx):
-                outcome = result.value
+                if result.site_id not in outcomes_by_site:
+                    outcomes_by_site[result.site_id] = []
+                    site_order.append(result.site_id)
+                outcomes_by_site[result.site_id].append(result.value)
+            for site_id in site_order:
+                if ctx is not None and site_id in ctx.lost_sites:
+                    continue
+                outcomes = outcomes_by_site[site_id]
+                if shards == 1:
+                    matches = outcomes[0].matches
+                else:
+                    raw = [
+                        binding for outcome in outcomes for binding in outcome.matches
+                    ]
+                    matches = list(finalize_matches(query, raw))
                 shipped = self.cluster.bus.send(
-                    result.site_id,
+                    site_id,
                     COORDINATOR,
                     "local_matches",
-                    outcome.matches,
+                    matches,
                     STAGE_PARTIAL_EVAL,
                 )
                 stage.shipped_bytes += shipped
                 stage.messages += 1
-                all_bindings.extend(outcome.matches)
-                stats.work["search_steps"] = (
-                    stats.work.get("search_steps", 0) + outcome.search_steps
+                all_bindings.extend(matches)
+                stats.work["search_steps"] = stats.work.get("search_steps", 0) + sum(
+                    outcome.search_steps for outcome in outcomes
                 )
+                stats.work["kernel_intersections"] = stats.work.get(
+                    "kernel_intersections", 0
+                ) + sum(outcome.kernel_intersections for outcome in outcomes)
             if span is not None:
                 span.set(shipped_bytes=stage.shipped_bytes, messages=stage.messages)
         stage.site_times_s.update(timer.site_times(STAGE_PARTIAL_EVAL))
@@ -581,6 +627,10 @@ class GStoreDEngine:
                 filtered_branches += outcome.branches_pruned_by_filter
                 stats.work["search_steps"] = (
                     stats.work.get("search_steps", 0) + outcome.search_steps
+                )
+                stats.work["kernel_intersections"] = (
+                    stats.work.get("kernel_intersections", 0)
+                    + outcome.kernel_intersections
                 )
                 shipped = self.cluster.bus.send(
                     result.site_id, COORDINATOR, "local_matches", outcome.local_matches, STAGE_PARTIAL_EVAL

@@ -2,13 +2,28 @@
 
 from .candidates import candidate_sizes, compute_candidates, edge_supported
 from .encoding import EncodedGraph, TermDictionary, encoded_view
-from .matcher import LocalMatcher, evaluate_centralized
+from .kernel import (
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    KERNEL_PYTHON,
+    KERNEL_SETS,
+    KERNEL_VECTORIZED,
+    default_kernel,
+    resolve_kernel,
+    shard_bounds,
+)
+from .matcher import LocalMatcher, evaluate_centralized, finalize_matches
 from .signatures import DEFAULT_SIGNATURE_BITS, SignatureIndex, VertexSignature
 from .triple_store import TripleStore
 
 __all__ = [
     "DEFAULT_SIGNATURE_BITS",
     "EncodedGraph",
+    "KERNEL_CHOICES",
+    "KERNEL_ENV",
+    "KERNEL_PYTHON",
+    "KERNEL_SETS",
+    "KERNEL_VECTORIZED",
     "LocalMatcher",
     "SignatureIndex",
     "TermDictionary",
@@ -16,7 +31,11 @@ __all__ = [
     "VertexSignature",
     "candidate_sizes",
     "compute_candidates",
+    "default_kernel",
     "edge_supported",
     "encoded_view",
     "evaluate_centralized",
+    "finalize_matches",
+    "resolve_kernel",
+    "shard_bounds",
 ]

@@ -23,25 +23,22 @@ from typing import Dict, Iterable, Optional, Set
 from ..rdf.graph import RDFGraph
 from ..rdf.terms import IRI, Literal, Node, PatternTerm, Variable
 from ..sparql.query_graph import QueryEdge, QueryGraph
-from .encoding import PREDICATE_ABSENT, PREDICATE_ANY, EncodedGraph, encoded_view
+from .encoding import (
+    PREDICATE_ABSENT,
+    PREDICATE_ANY,
+    EncodedGraph,
+    encoded_view,
+    predicate_code,
+)
 from .signatures import SignatureIndex
 
-
-def predicate_code(encoded: EncodedGraph, predicate: PatternTerm) -> int:
-    """The kernel code of a query-edge predicate.
-
-    Variables map to :data:`~repro.store.encoding.PREDICATE_ANY`; constant
-    IRIs map to their dictionary id, or
-    :data:`~repro.store.encoding.PREDICATE_ABSENT` when the graph never uses
-    the label (no data edge can match).  Non-IRI constants cannot label data
-    edges, so they are absent by construction.
-    """
-    if isinstance(predicate, Variable):
-        return PREDICATE_ANY
-    if not isinstance(predicate, IRI):
-        return PREDICATE_ABSENT
-    predicate_id = encoded.dictionary.get(predicate)
-    return PREDICATE_ABSENT if predicate_id is None else predicate_id
+__all__ = [
+    "predicate_code",
+    "edge_supported",
+    "compute_candidate_ids",
+    "compute_candidates",
+    "candidate_sizes",
+]
 
 
 def edge_supported(
@@ -93,12 +90,25 @@ def compute_candidate_ids(
     query: QueryGraph,
     signature_index: SignatureIndex,
     relaxed_edges: Optional[Dict[PatternTerm, Set[int]]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[PatternTerm, Set[int]]:
     """Candidate *ids* for every query vertex — the matcher's fast path.
 
     Same semantics as :func:`compute_candidates` (without ``restrict_to``),
     but input and output stay in the integer domain of ``encoded``.
+
+    ``kernel`` picks the filtering substrate (``None`` means the process
+    default, :func:`repro.store.kernel.default_kernel`): the array kernels
+    filter the seed pool with numpy bit-matrix signature containment and
+    sorted-column membership instead of per-id Python bit ops.  The choice
+    never changes the returned sets — only how fast they are computed.
     """
+    from .kernel import KERNEL_SETS, make_runner, resolve_kernel
+
+    if resolve_kernel(kernel) != KERNEL_SETS:
+        runner = make_runner(resolve_kernel(kernel), encoded, signature_index)
+        pools = runner.compute_pools(query, relaxed_edges)
+        return {vertex: set(map(int, pool)) for vertex, pool in pools.items()}
     relaxed_edges = relaxed_edges or {}
     candidates: Dict[PatternTerm, Set[int]] = {}
     for query_vertex in query.vertices:

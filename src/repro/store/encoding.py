@@ -28,7 +28,7 @@ import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..rdf.graph import RDFGraph
-from ..rdf.terms import Node, Term
+from ..rdf.terms import IRI, Node, PatternTerm, Term, Variable
 from ..rdf.triples import Triple
 
 #: Predicate code of a query edge whose predicate is a variable ("any label").
@@ -52,6 +52,22 @@ def term_sort_key(term: Term) -> Tuple[str, str]:
     order and candidate order the same thing.
     """
     return (type(term).__name__, term.n3())
+
+
+def predicate_code(encoded: "EncodedGraph", predicate: PatternTerm) -> int:
+    """The kernel code of a query-edge predicate.
+
+    Variables map to :data:`PREDICATE_ANY`; constant IRIs map to their
+    dictionary id, or :data:`PREDICATE_ABSENT` when the graph never uses the
+    label (no data edge can match).  Non-IRI constants cannot label data
+    edges, so they are absent by construction.
+    """
+    if isinstance(predicate, Variable):
+        return PREDICATE_ANY
+    if not isinstance(predicate, IRI):
+        return PREDICATE_ABSENT
+    predicate_id = encoded.dictionary.get(predicate)
+    return PREDICATE_ABSENT if predicate_id is None else predicate_id
 
 
 class TermDictionary:
@@ -146,6 +162,7 @@ class EncodedGraph:
         "_vertex_ids",
         "_sorted_vertex_ids",
         "_num_triples",
+        "_kernel_adjacency",
     )
 
     def __init__(self, graph: RDFGraph) -> None:
@@ -189,6 +206,11 @@ class EncodedGraph:
             sorted(self._vertex_ids)
         )
         self._num_triples = len(graph)
+        # Sorted-column adjacency caches, one per kernel flavor, attached
+        # lazily by repro.store.kernel.adjacency_view.  Kept here (not in a
+        # module-level WeakValue map) so the cache dies with the encoding
+        # and per-predicate invalidation in apply_ops stays a local call.
+        self._kernel_adjacency: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -298,15 +320,21 @@ class EncodedGraph:
         the same triples would.
         """
         ensure = self.dictionary.ensure
+        touched_predicates: Set[int] = set()
         for op, triple in ops:
             s = ensure(triple.subject)
             p = ensure(triple.predicate)
             o = ensure(triple.object)
+            touched_predicates.add(p)
             if op == "+":
                 self._add_ids(s, p, o)
             else:
                 self._remove_ids(s, p, o)
         self._sorted_vertex_ids = None
+        # Drop only the mutated predicates' sorted columns; every other
+        # kernel column stays warm across the patch.
+        for adjacency in self._kernel_adjacency.values():
+            adjacency.invalidate(touched_predicates)
 
     def _add_ids(self, s: int, p: int, o: int) -> None:
         self._spo.setdefault(s, {}).setdefault(p, set()).add(o)

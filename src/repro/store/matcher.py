@@ -11,19 +11,31 @@ per-edge support) done upfront.  Variables on predicates are supported.
 Distinct query vertices may map to the same data vertex (homomorphism, not
 isomorphism), matching SPARQL semantics.
 
-Since the dictionary-encoding PR the search itself runs entirely on dense
-integer ids from :mod:`repro.store.encoding`: candidate pools are id sets
-sorted once per query (id order *is* the old ``(type, n3)`` candidate
-order, so answers and ``search_steps`` are bit-identical to the object
-path), edge checks are O(1) integer set probes against the encoded
-``spo``/``pos``/``osp`` indexes, and assignments decode back to
-:class:`~repro.rdf.terms.Node` objects only when a complete match is
-yielded.
+Since the dictionary-encoding PR the search runs entirely on dense integer
+ids from :mod:`repro.store.encoding`; since the vectorized-kernel PR the
+per-depth candidate computation is delegated to a pluggable *match runner*
+(:mod:`repro.store.kernel`): the ``vectorized`` kernel narrows candidates by
+galloping merge-join over sorted numpy columns, ``python`` does the same
+over sorted lists, and ``sets`` is the original hash-set path kept as the
+reference oracle.  The search itself is a batched backtracking frontier —
+one runner call computes a whole depth's ordered candidates at once — and
+every kernel produces the identical match sequence and identical
+``search_steps`` (the frontier's pre-consistency candidate count per depth,
+exactly what the per-candidate loop used to charge).
+
+The first search depth can additionally be sliced into contiguous shards
+(:meth:`LocalMatcher.shard_matches`): nothing is assigned at depth 0, so the
+depth-0 frontier is always the full sorted pool, and slicing it partitions
+the match sequence and the step counts exactly — the foundation of
+intra-site sharding in :mod:`repro.core.site_tasks`.
+
+Assignments decode back to :class:`~repro.rdf.terms.Node` objects only when
+a complete match is yielded.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..planner.optimizer import QueryPlanner
 from ..rdf.graph import RDFGraph
@@ -31,38 +43,23 @@ from ..rdf.terms import Node, PatternTerm, Variable
 from ..sparql.algebra import SelectQuery
 from ..sparql.bindings import Binding, ResultSet
 from ..sparql.query_graph import QueryGraph, traversal_order
-from .candidates import compute_candidate_ids, predicate_code
-from .encoding import EncodedGraph, encoded_view
+from .encoding import encoded_view
+from .kernel import MatchRunner, make_runner, resolve_kernel
 from .signatures import SignatureIndex
 
 
-class _CompiledVertex:
-    """Everything the kernel needs about one query vertex, precompiled to ints.
+def finalize_matches(query: SelectQuery, bindings: Iterable[Binding]) -> ResultSet:
+    """Turn raw match bindings into the query's final solution sequence.
 
-    Built once per ``find_matches`` call; the backtracking loop then touches
-    only integer tuples and id sets.
+    Projection, DISTINCT and LIMIT — the per-query postlude that must run
+    over the *complete* match stream.  Split out of :meth:`LocalMatcher.
+    evaluate` so the sharded path can concatenate per-shard raw bindings in
+    shard order and finalize once, producing the bit-identical ``ResultSet``
+    the unsharded evaluation yields.
     """
-
-    __slots__ = ("index", "pool", "sorted_pool", "narrow_edges", "check_edges")
-
-    def __init__(
-        self,
-        index: int,
-        pool: Set[int],
-        narrow_edges: List[Tuple[bool, int, int]],
-        check_edges: List[Tuple[bool, int, bool, int, int]],
-    ) -> None:
-        self.index = index
-        self.pool = pool
-        #: Ids sort exactly like the old ``(type, n3)`` candidate order, so
-        #: this sort happens once per query instead of once per search step.
-        self.sorted_pool = sorted(pool)
-        #: ``(vertex_is_subject, predicate_code, other_vertex_index)`` per
-        #: incident non-loop edge, in query-edge order.
-        self.narrow_edges = narrow_edges
-        #: ``(subject_is_self, subject_index, object_is_self, object_index,
-        #: predicate_code)`` per incident edge (loops included).
-        self.check_edges = check_edges
+    results = ResultSet(list(bindings), query.variables)
+    projected = results.project(query.effective_projection, distinct=query.distinct)
+    return projected.limit(query.limit)
 
 
 class LocalMatcher:
@@ -73,14 +70,25 @@ class LocalMatcher:
         graph: RDFGraph,
         signature_index: Optional[SignatureIndex] = None,
         planner: Optional[QueryPlanner] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self._graph = graph
         self._signatures = signature_index or SignatureIndex(graph)
         self._planner = planner
+        #: Kernel name pinned at construction, or ``None`` to resolve the
+        #: process default (``$REPRO_KERNEL``, else vectorized-if-numpy) on
+        #: every call — so one warm matcher follows the environment.
+        self._kernel = kernel
         #: Number of candidate assignments attempted by the most recent
         #: ``find_matches``/``evaluate`` call (a deterministic work measure
         #: used by the planner benchmarks).
         self.search_steps = 0
+        #: Candidate-column intersection operations the most recent call
+        #: performed (the kernel's work measure; observability only — unlike
+        #: ``search_steps`` it may differ between kernels).
+        self.kernel_intersections = 0
+        #: Kernel name the most recent call actually ran with.
+        self.last_kernel = ""
 
     @property
     def graph(self) -> RDFGraph:
@@ -94,6 +102,11 @@ class LocalMatcher:
     def planner(self) -> Optional[QueryPlanner]:
         return self._planner
 
+    @property
+    def kernel(self) -> str:
+        """The kernel name a call made right now would run with."""
+        return resolve_kernel(self._kernel)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -104,28 +117,65 @@ class LocalMatcher:
         combined with a cross product, mirroring the paper's assumption that
         connected components are considered separately.
         """
-        components = query.bgp.connected_components()
-        if not components:
+        if not query.bgp.connected_components():
             return ResultSet([], query.effective_projection)
+        return finalize_matches(query, self.raw_matches(query))
+
+    def raw_matches(
+        self,
+        query: SelectQuery,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> List[Binding]:
+        """Every BGP match of ``query`` as unprojected bindings.
+
+        The shard-mergeable form of :meth:`evaluate`: projection/DISTINCT/
+        LIMIT are *not* applied (they only commute with concatenation when
+        run over the complete stream — :func:`finalize_matches` does that).
+
+        ``shard`` is a ``(shard_index, num_shards)`` slice of the search:
+        single-component queries slice the depth-0 candidate frontier, so
+        concatenating the shards' bindings in shard order reproduces the
+        unsharded sequence and the per-shard ``search_steps`` sum to the
+        unsharded total.  Queries that do not decompose that way (empty or
+        multi-component BGPs, whose results are cross products) fall back to
+        shard 0 evaluating everything while the other shards return nothing.
+        """
+        components = query.bgp.connected_components()
+        self.search_steps = 0
+        self.kernel_intersections = 0
+        self.last_kernel = resolve_kernel(self._kernel)
+        if not components:
+            return []
+        if shard is not None and len(components) != 1:
+            if shard[0] > 0:
+                return []
+            shard = None
         partial: List[List[Dict[PatternTerm, Node]]] = []
         steps = 0
+        intersections = 0
         for component in components:
             graph = QueryGraph(component)
-            partial.append(list(self.find_matches(graph)))
+            partial.append(list(self.find_matches(graph, shard=shard)))
             steps += self.search_steps
+            intersections += self.kernel_intersections
         self.search_steps = steps
+        self.kernel_intersections = intersections
         combined = partial[0]
         for extra in partial[1:]:
             combined = [{**left, **right} for left in combined for right in extra]
-        bindings = [self._to_binding(assignment) for assignment in combined]
-        results = ResultSet(bindings, query.variables)
-        projected = results.project(query.effective_projection, distinct=query.distinct)
-        return projected.limit(query.limit)
+        return [self._to_binding(assignment) for assignment in combined]
+
+    def shard_matches(
+        self, query: SelectQuery, shard_index: int, num_shards: int
+    ) -> List[Binding]:
+        """One shard's slice of :meth:`raw_matches` (see there for the contract)."""
+        return self.raw_matches(query, shard=(shard_index, num_shards))
 
     def find_matches(
         self,
         query: QueryGraph,
         order: Optional[Sequence[PatternTerm]] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Dict[PatternTerm, Node]]:
         """Yield complete assignments (query vertex → data vertex) for ``query``.
 
@@ -134,146 +184,94 @@ class LocalMatcher:
         static :func:`traversal_order`.  Any permutation of the query
         vertices yields the same matches — the order only changes how much
         of the search space is explored before failures are detected.
+
+        ``shard`` slices the depth-0 frontier (see :meth:`raw_matches`).
         """
         self.search_steps = 0
+        self.kernel_intersections = 0
+        kernel = resolve_kernel(self._kernel)
+        self.last_kernel = kernel
         encoded = encoded_view(self._graph)
-        candidates = compute_candidate_ids(encoded, query, self._signatures)
-        if any(not candidates[vertex] for vertex in query.vertices):
-            return
-        if order is not None:
-            chosen = list(order)
-        elif self._planner is not None:
-            chosen = self._planner.order_for(query)
-        else:
-            chosen = traversal_order(query)
-        compiled = self._compile(query, chosen, candidates, encoded)
-        assignment: List[Optional[int]] = [None] * query.num_vertices
-        term_of = encoded.dictionary.term_of
-        positions = range(len(compiled))
-        for _ in self._extend(assignment, compiled, 0, encoded):
-            # The inner generator is suspended with every slot assigned, so
-            # the complete match can be decoded straight off the assignment.
-            yield {
-                chosen[position]: term_of(assignment[compiled[position].index])
-                for position in positions
-            }
+        runner = make_runner(kernel, encoded, self._signatures)
+        try:
+            pools = runner.compute_pools(query)
+            if any(len(pools[vertex]) == 0 for vertex in query.vertices):
+                return
+            if order is not None:
+                chosen = list(order)
+            elif self._planner is not None:
+                chosen = self._planner.order_for(query)
+            else:
+                chosen = traversal_order(query)
+            compiled = runner.compile(query, chosen, pools)
+            assignment: List[Optional[int]] = [None] * query.num_vertices
+            term_of = encoded.dictionary.term_of
+            positions = range(len(compiled))
+            for _ in self._extend(assignment, compiled, 0, runner, shard):
+                # The inner generator is suspended with every slot assigned,
+                # so the complete match decodes straight off the assignment.
+                yield {
+                    chosen[position]: term_of(assignment[compiled[position].index])
+                    for position in positions
+                }
+        finally:
+            self.kernel_intersections += runner.intersections
 
     def count_matches(self, query: QueryGraph) -> int:
         """Number of complete matches (used by benchmarks)."""
         return sum(1 for _ in self.find_matches(query))
 
     # ------------------------------------------------------------------
-    # Query compilation (terms → ints, once per find_matches call)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _compile(
-        query: QueryGraph,
-        order: Sequence[PatternTerm],
-        candidates: Dict[PatternTerm, Set[int]],
-        encoded: EncodedGraph,
-    ) -> List[_CompiledVertex]:
-        compiled: List[_CompiledVertex] = []
-        for vertex in order:
-            vertex_index = query.vertex_index(vertex)
-            narrow_edges: List[Tuple[bool, int, int]] = []
-            check_edges: List[Tuple[bool, int, bool, int, int]] = []
-            for edge in query.edges_of(vertex):
-                code = predicate_code(encoded, edge.predicate)
-                subject_index = query.vertex_index(edge.subject)
-                object_index = query.vertex_index(edge.object)
-                check_edges.append(
-                    (
-                        edge.subject == vertex,
-                        subject_index,
-                        edge.object == vertex,
-                        object_index,
-                        code,
-                    )
-                )
-                other = edge.other_endpoint(vertex)
-                if other == vertex:
-                    continue  # self-loop: no already-assigned "other" side
-                if edge.subject == vertex:
-                    narrow_edges.append((True, code, object_index))
-                else:
-                    narrow_edges.append((False, code, subject_index))
-            compiled.append(
-                _CompiledVertex(vertex_index, candidates[vertex], narrow_edges, check_edges)
-            )
-        return compiled
-
-    # ------------------------------------------------------------------
-    # Backtracking search (integer kernel)
+    # Backtracking search (batched frontier over the kernel runner)
     # ------------------------------------------------------------------
     def _extend(
         self,
         assignment: List[Optional[int]],
-        compiled: List[_CompiledVertex],
-        depth: int,
-        encoded: EncodedGraph,
+        compiled: List[object],
+        start_depth: int,
+        runner: MatchRunner,
+        shard: Optional[Tuple[int, int]],
     ) -> Iterator[None]:
-        if depth == len(compiled):
-            yield None  # the caller reads the complete assignment in place
-            return
-        vertex = compiled[depth]
-        vertex_index = vertex.index
-        for candidate in self._ordered_candidates(vertex, assignment, encoded):
-            self.search_steps += 1
-            if not self._consistent(vertex, candidate, assignment, encoded):
-                continue
-            assignment[vertex_index] = candidate
-            yield from self._extend(assignment, compiled, depth + 1, encoded)
-            assignment[vertex_index] = None
+        """DFS over the compiled vertices; yields once per complete match.
 
-    @staticmethod
-    def _ordered_candidates(
-        vertex: _CompiledVertex,
-        assignment: List[Optional[int]],
-        encoded: EncodedGraph,
-    ) -> Sequence[int]:
-        """Candidates for ``vertex``, narrowed by already-assigned neighbours.
-
-        When an adjacent query vertex is already assigned, the data graph's
-        adjacency restricts the viable candidates to the neighbours of that
-        assignment, which is usually a much smaller set than the global
-        candidate list.  All probes are integer index lookups; id order is
-        the deterministic candidate order, so sorting is a plain int sort.
+        Iterative (an explicit per-depth frame stack) rather than nested
+        generators: every yielded match would otherwise bubble through one
+        generator frame per query vertex.  Each depth's candidate frontier
+        is computed in one batched runner call when the depth is first
+        entered; ``tried`` — the frontier size before residual consistency
+        filtering — is charged to ``search_steps`` right there, exactly the
+        count the old per-candidate loop accumulated lazily (all callers
+        consume the generator fully, so the totals are identical).
         """
-        narrowed: Optional[Set[int]] = None
-        for is_subject, code, other_index in vertex.narrow_edges:
-            other_value = assignment[other_index]
-            if other_value is None:
+        del start_depth  # the search always starts at depth 0
+        if not compiled:
+            yield None
+            return
+        frontier = runner.frontier
+        last = len(compiled) - 1
+        stack: List[Optional[List[object]]] = [None] * len(compiled)
+        depth = 0
+        while depth >= 0:
+            frame = stack[depth]
+            if frame is None:
+                survivors, tried = frontier(
+                    compiled[depth], assignment, shard if depth == 0 else None
+                )
+                self.search_steps += tried
+                frame = [survivors, 0]
+                stack[depth] = frame
+            survivors, position = frame
+            if position == len(survivors):
+                stack[depth] = None
+                assignment[compiled[depth].index] = None
+                depth -= 1
                 continue
-            if is_subject:
-                reachable = encoded.subjects_to(code, other_value)
+            frame[1] = position + 1
+            assignment[compiled[depth].index] = survivors[position]
+            if depth == last:
+                yield None  # the caller reads the complete assignment in place
             else:
-                reachable = encoded.objects_from(other_value, code)
-            narrowed = reachable if narrowed is None else narrowed & reachable
-            if not narrowed:
-                return ()
-        if narrowed is None:
-            return vertex.sorted_pool
-        return sorted(narrowed & vertex.pool)
-
-    @staticmethod
-    def _consistent(
-        vertex: _CompiledVertex,
-        candidate: int,
-        assignment: List[Optional[int]],
-        encoded: EncodedGraph,
-    ) -> bool:
-        """Check every query edge between ``vertex`` and already-assigned vertices."""
-        has_edge = encoded.has_edge
-        for subject_is_self, subject_index, object_is_self, object_index, code in (
-            vertex.check_edges
-        ):
-            subject_value = candidate if subject_is_self else assignment[subject_index]
-            object_value = candidate if object_is_self else assignment[object_index]
-            if subject_value is None or object_value is None:
-                continue
-            if not has_edge(subject_value, code, object_value):
-                return False
-        return True
+                depth += 1
 
     # ------------------------------------------------------------------
     # Helpers

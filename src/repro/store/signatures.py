@@ -125,6 +125,7 @@ class SignatureIndex:
         self._bits_by_id = bits_by_id
         self._encoded = encoded
         self._applied_version = self._graph.version
+        self._matrix = None
 
     def _current(self) -> EncodedGraph:
         """The graph's current encoded view, resyncing the bits if stale.
@@ -160,6 +161,7 @@ class SignatureIndex:
                 bits_by_id[s] |= subject_bits
                 bits_by_id[o] |= object_bits
             self._applied_version = self._graph.version
+            self._matrix = None
         return encoded
 
     @property
@@ -185,6 +187,40 @@ class SignatureIndex:
                 "signature index belongs to a different graph than the encoded view"
             )
         return self._bits_by_id
+
+    def bits_matrix(self, encoded: EncodedGraph):
+        """The signature bits as an ``(n_terms, words)`` uint64 numpy matrix.
+
+        The vectorized kernel's view of :meth:`bits_table`: row ``i`` holds
+        term ``i``'s bitset split into little-endian 64-bit words, so
+        signature containment over a whole candidate column is one broadcast
+        AND-compare instead of per-id Python big-int ops.  Built lazily,
+        memoized until the bits change (rebuild or journal patch).  Raises
+        ``ValueError`` when numpy is unavailable or ``encoded`` is stale —
+        same contract as :meth:`bits_table`.
+        """
+        if encoded is not self._current():
+            raise ValueError(
+                "signature index belongs to a different graph than the encoded view"
+            )
+        matrix = self._matrix
+        if matrix is None:
+            from .kernel import numpy_or_none
+
+            np = numpy_or_none()
+            if np is None:
+                raise ValueError("bits_matrix needs numpy; use bits_table instead")
+            mask = 0xFFFFFFFFFFFFFFFF
+            words = (self._width + 63) // 64
+            matrix = np.array(
+                [
+                    [(bits >> (64 * word)) & mask for word in range(words)]
+                    for bits in self._bits_by_id
+                ],
+                dtype=np.uint64,
+            ).reshape(len(self._bits_by_id), words)
+            self._matrix = matrix
+        return matrix
 
     def query_signature(
         self,

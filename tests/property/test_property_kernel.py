@@ -1,22 +1,29 @@
-"""Property-based equivalence: encoded integer kernel vs the object path.
+"""Property-based equivalence: every matching kernel vs the object path.
 
-The dictionary-encoding PR swapped the matching kernel under every engine.
-This suite runs the *pre-encoding* object path as the reference — the
-seed's ``LocalMatcher`` search and candidate computation over
-``Node``/``Triple`` objects, preserved verbatim in
-``benchmarks/kernel_reference.py`` (shared with the kernel benchmark so the
-property suite and the bench gate validate against the same baseline) —
-and asserts, on random graphs and queries, that the encoded kernel produces
+The dictionary-encoding PR swapped the matching kernel under every engine;
+the vectorized-kernel PR split it into three selectable implementations
+(``sets`` / ``python`` / ``vectorized``).  This suite runs the
+*pre-encoding* object path as the reference — the seed's ``LocalMatcher``
+search and candidate computation over ``Node``/``Triple`` objects,
+preserved verbatim in ``benchmarks/kernel_reference.py`` (shared with the
+kernel benchmark so the property suite and the bench gate validate against
+the same baseline) — and asserts, on random graphs and queries, that every
+kernel produces
 
 * the identical *sequence* of match assignments (not just the same set),
-* the identical ``search_steps`` work counter, and
+* the identical ``search_steps`` work counter — also after graph mutations
+  (incremental adjacency patching) and under depth-0 frontier sharding, and
 * identical result rows and per-stage shipment fingerprints when the kernel
-  runs under the distributed engine at workers 1, 2 and 8.
+  runs under the distributed engine (serial / threads / processes, workers
+  1, 2 and 8, with and without intra-site sharding).
 """
 
+import os
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -27,9 +34,20 @@ from repro.bench import stage_shipment_snapshot
 from repro.core import EngineConfig, GStoreDEngine
 from repro.datasets import random_assignment, random_connected_query, random_graph
 from repro.distributed import build_cluster
+from repro.exec import ProcessPoolBackend
 from repro.partition import build_partitioned_graph
+from repro.rdf import Triple
 from repro.sparql.query_graph import QueryGraph
-from repro.store import LocalMatcher, SignatureIndex, evaluate_centralized
+from repro.store import (
+    KERNEL_ENV,
+    KERNEL_PYTHON,
+    KERNEL_SETS,
+    KERNEL_VECTORIZED,
+    LocalMatcher,
+    SignatureIndex,
+    evaluate_centralized,
+)
+from repro.store.kernel import numpy_or_none
 
 seeds = st.integers(min_value=0, max_value=5_000)
 fragment_counts = st.integers(min_value=1, max_value=4)
@@ -37,8 +55,30 @@ query_sizes = st.integers(min_value=1, max_value=4)
 constant_probabilities = st.sampled_from([0.0, 0.25, 0.5])
 #: The worker counts the kernel acceptance contract names.
 worker_counts = st.sampled_from([1, 2, 8])
+shard_counts = st.sampled_from([2, 3, 8])
 
 SERIAL = EngineConfig.full().with_options(executor="serial")
+
+#: Every kernel importable in this interpreter (vectorized needs numpy).
+KERNELS = tuple(
+    kernel
+    for kernel in (KERNEL_SETS, KERNEL_PYTHON, KERNEL_VECTORIZED)
+    if kernel != KERNEL_VECTORIZED or numpy_or_none() is not None
+)
+
+
+@contextmanager
+def kernel_env(name):
+    """Temporarily pin $REPRO_KERNEL (engines resolve it per call)."""
+    prior = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = name
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = prior
 
 
 # ----------------------------------------------------------------------
@@ -115,3 +155,151 @@ class TestKernelEquivalence:
         assert sorted_rows(serial.results) == expected_rows
         assert sorted_rows(threaded.results) == expected_rows
         assert stage_shipment_snapshot(threaded) == serial_snapshot
+
+
+class TestKernelMatrixEquivalence:
+    """sets == python == vectorized == the object path, always."""
+
+    @given(seeds, query_sizes, constant_probabilities)
+    @settings(max_examples=25, deadline=None)
+    def test_every_kernel_replays_the_object_path_exactly(
+        self, seed, query_edges, constant_probability
+    ):
+        graph = random_graph(seed, num_vertices=16, num_edges=32, num_predicates=3)
+        query = random_connected_query(
+            graph, seed + 101, num_edges=query_edges, constant_probability=constant_probability
+        )
+        query_graph = QueryGraph.from_query(query)
+        reference = ReferenceObjectMatcher(graph)
+        reference_matches = list(reference.find_matches(query_graph))
+        for kernel in KERNELS:
+            matcher = LocalMatcher(graph, kernel=kernel)
+            assert list(matcher.find_matches(query_graph)) == reference_matches, kernel
+            assert matcher.search_steps == reference.search_steps, kernel
+            assert matcher.last_kernel == kernel
+
+    @given(seeds, query_sizes)
+    @settings(max_examples=15, deadline=None)
+    def test_mutation_then_query_keeps_kernels_in_lockstep(self, seed, query_edges):
+        """Incremental adjacency patching is exact: after additions and a
+        removal, every warm matcher agrees with a cold matcher over a copy
+        of the mutated graph — and all kernels agree with each other."""
+        graph = random_graph(seed, num_vertices=16, num_edges=32, num_predicates=3)
+        query = random_connected_query(graph, seed + 101, num_edges=query_edges)
+        query_graph = QueryGraph.from_query(query)
+        matchers = {kernel: LocalMatcher(graph, kernel=kernel) for kernel in KERNELS}
+        for matcher in matchers.values():  # warm the adjacency caches
+            list(matcher.find_matches(query_graph))
+
+        extra = random_graph(seed + 1, num_vertices=16, num_edges=8, num_predicates=3)
+        graph.add_all(extra)
+        graph.discard(next(iter(graph)))
+
+        reference = ReferenceObjectMatcher(graph)
+        expected = list(reference.find_matches(query_graph))
+        cold = LocalMatcher(graph.copy(), kernel=KERNELS[0])
+        cold_matches = list(cold.find_matches(query_graph))
+        assert cold_matches == expected
+        for kernel, matcher in matchers.items():
+            assert list(matcher.find_matches(query_graph)) == expected, kernel
+            assert matcher.search_steps == reference.search_steps, kernel
+
+    @given(seeds, query_sizes, constant_probabilities, shard_counts)
+    @settings(max_examples=15, deadline=None)
+    def test_shard_concatenation_replays_the_unsharded_stream(
+        self, seed, query_edges, constant_probability, num_shards
+    ):
+        """Depth-0 frontier shards partition the search exactly: bindings
+        concatenated in shard order equal the unsharded sequence and the
+        per-shard ``search_steps`` sum to the unsharded total — for every
+        kernel."""
+        graph = random_graph(seed, num_vertices=16, num_edges=32, num_predicates=3)
+        query = random_connected_query(
+            graph, seed + 101, num_edges=query_edges, constant_probability=constant_probability
+        )
+        for kernel in KERNELS:
+            matcher = LocalMatcher(graph, kernel=kernel)
+            unsharded = matcher.raw_matches(query)
+            unsharded_steps = matcher.search_steps
+            combined = []
+            steps = 0
+            for index in range(num_shards):
+                combined.extend(matcher.shard_matches(query, index, num_shards))
+                steps += matcher.search_steps
+            assert combined == unsharded, kernel
+            assert steps == unsharded_steps, kernel
+
+
+class TestDistributedKernelParity:
+    """Kernel choice and intra-site sharding are invisible to the engines."""
+
+    @given(seeds, fragment_counts, query_sizes, worker_counts)
+    @settings(max_examples=8, deadline=None)
+    def test_kernels_and_shards_are_invisible_to_the_engine(
+        self, seed, num_fragments, query_edges, workers
+    ):
+        """For every kernel, serial × shards_per_site ∈ {1, 3} and threaded
+        × shards_per_site = 2 at workers 1/2/8 all reproduce the reference
+        rows and per-stage shipment fingerprints."""
+        graph = random_graph(seed, num_vertices=16, num_edges=32, num_predicates=3)
+        query = random_connected_query(graph, seed + 101, num_edges=query_edges)
+        assignment = random_assignment(graph, seed + 7, num_fragments)
+        partitioned = build_partitioned_graph(graph, assignment, num_fragments=num_fragments)
+        cluster = build_cluster(partitioned)
+
+        cluster.reset_network()
+        reference = GStoreDEngine(cluster, SERIAL).execute(query)
+        reference_rows = sorted_rows(reference.results)
+        reference_snapshot = stage_shipment_snapshot(reference)
+
+        for kernel in KERNELS:
+            with kernel_env(kernel):
+                for shards in (1, 3):
+                    cluster.reset_network()
+                    config = SERIAL.with_options(shards_per_site=shards)
+                    outcome = GStoreDEngine(cluster, config).execute(query)
+                    assert sorted_rows(outcome.results) == reference_rows, (kernel, shards)
+                    assert stage_shipment_snapshot(outcome) == reference_snapshot, (
+                        kernel,
+                        shards,
+                    )
+                cluster.reset_network()
+                threaded_config = EngineConfig.full().with_workers(workers).with_options(
+                    shards_per_site=2
+                )
+                engine = GStoreDEngine(cluster, threaded_config)
+                threaded = engine.execute(query)
+                engine.close()
+                assert sorted_rows(threaded.results) == reference_rows, kernel
+                assert stage_shipment_snapshot(threaded) == reference_snapshot, kernel
+
+
+class TestProcessPoolKernelParity:
+    """Fixed-seed process-pool legs: the env-selected kernel crosses the
+    pickle boundary and still reproduces the serial reference exactly."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_process_pool_matches_serial_reference(self, kernel, workers):
+        graph = random_graph(1234, num_vertices=16, num_edges=32, num_predicates=3)
+        query = random_connected_query(graph, 1335, num_edges=3)
+        assignment = random_assignment(graph, 1241, 3)
+        partitioned = build_partitioned_graph(graph, assignment, num_fragments=3)
+        cluster = build_cluster(partitioned)
+
+        cluster.reset_network()
+        reference = GStoreDEngine(cluster, SERIAL).execute(query)
+        reference_rows = sorted_rows(reference.results)
+        reference_snapshot = stage_shipment_snapshot(reference)
+
+        with kernel_env(kernel):
+            cluster.reset_network()
+            with ProcessPoolBackend(max_workers=workers) as backend:
+                config = EngineConfig.full().with_executor("processes", workers).with_options(
+                    shards_per_site=2
+                )
+                engine = GStoreDEngine(cluster, config, backend=backend)
+                outcome = engine.execute(query)
+                engine.close()
+        assert sorted_rows(outcome.results) == reference_rows
+        assert stage_shipment_snapshot(outcome) == reference_snapshot

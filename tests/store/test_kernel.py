@@ -1,0 +1,262 @@
+"""Unit tests for the matching-kernel machinery (`repro.store.kernel`).
+
+Kernel selection ($REPRO_KERNEL, numpy fallback), shard bounds, the sorted
+adjacency columns and their incremental invalidation, and the signature
+bit-matrix — the parts the Hypothesis parity suite exercises only
+indirectly.  The numpy-free paths are simulated by monkeypatching
+``kernel._NUMPY`` so they run even on machines that have numpy installed.
+"""
+
+import pytest
+
+import repro.store.kernel as kernel_module
+from repro.rdf import Literal, Namespace, RDFGraph, Triple, TriplePattern, Variable
+from repro.sparql import BasicGraphPattern, QueryGraph
+from repro.store import (
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    KERNEL_PYTHON,
+    KERNEL_SETS,
+    KERNEL_VECTORIZED,
+    LocalMatcher,
+    SignatureIndex,
+    default_kernel,
+    resolve_kernel,
+    shard_bounds,
+)
+from repro.store.encoding import encoded_view
+from repro.store.kernel import SortedAdjacency, adjacency_view, numpy_or_none
+
+EX = Namespace("http://example.org/")
+ALICE, BOB, CAROL, DAVE = EX.term("alice"), EX.term("bob"), EX.term("carol"), EX.term("dave")
+KNOWS, NAME = EX.term("knows"), EX.term("name")
+
+
+def social_graph() -> RDFGraph:
+    graph = RDFGraph()
+    graph.add(Triple(ALICE, KNOWS, BOB))
+    graph.add(Triple(BOB, KNOWS, CAROL))
+    graph.add(Triple(CAROL, KNOWS, ALICE))
+    graph.add(Triple(ALICE, KNOWS, DAVE))
+    graph.add(Triple(ALICE, NAME, Literal("Alice")))
+    graph.add(Triple(BOB, NAME, Literal("Bob")))
+    return graph
+
+
+def knows_chain() -> QueryGraph:
+    return QueryGraph(
+        BasicGraphPattern(
+            [
+                TriplePattern(Variable("x"), KNOWS, Variable("y")),
+                TriplePattern(Variable("y"), KNOWS, Variable("z")),
+            ]
+        )
+    )
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Simulate a numpy-free interpreter without uninstalling anything."""
+    monkeypatch.setattr(kernel_module, "_NUMPY", None)
+    monkeypatch.setattr(kernel_module, "_NUMPY_CHECKED", True)
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+class TestKernelResolution:
+    def test_default_prefers_vectorized_when_numpy_imports(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        expected = KERNEL_VECTORIZED if numpy_or_none() is not None else KERNEL_PYTHON
+        assert default_kernel() == expected
+        assert resolve_kernel(None) == expected
+
+    def test_environment_variable_wins(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, KERNEL_SETS)
+        assert default_kernel() == KERNEL_SETS
+        assert resolve_kernel() == KERNEL_SETS
+
+    def test_environment_variable_is_validated(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "bogus")
+        with pytest.raises(ValueError, match="unknown kernel 'bogus'"):
+            default_kernel()
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(ValueError, match=", ".join(KERNEL_CHOICES)):
+            resolve_kernel("simd")
+
+    def test_explicit_name_passes_through(self):
+        for name in (KERNEL_PYTHON, KERNEL_SETS):
+            assert resolve_kernel(name) == name
+
+    def test_numpy_free_default_is_python(self, no_numpy, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert default_kernel() == KERNEL_PYTHON
+
+    def test_numpy_free_vectorized_is_an_error(self, no_numpy):
+        with pytest.raises(ValueError, match="needs numpy"):
+            resolve_kernel(KERNEL_VECTORIZED)
+
+    def test_matcher_follows_the_environment(self, monkeypatch):
+        matcher = LocalMatcher(social_graph())
+        monkeypatch.setenv(KERNEL_ENV, KERNEL_SETS)
+        list(matcher.find_matches(knows_chain()))
+        assert matcher.kernel == KERNEL_SETS
+        assert matcher.last_kernel == KERNEL_SETS
+        monkeypatch.setenv(KERNEL_ENV, KERNEL_PYTHON)
+        list(matcher.find_matches(knows_chain()))
+        assert matcher.last_kernel == KERNEL_PYTHON
+
+    def test_pinned_matcher_ignores_the_environment(self, monkeypatch):
+        matcher = LocalMatcher(social_graph(), kernel=KERNEL_SETS)
+        monkeypatch.setenv(KERNEL_ENV, KERNEL_PYTHON)
+        list(matcher.find_matches(knows_chain()))
+        assert matcher.last_kernel == KERNEL_SETS
+
+
+# ----------------------------------------------------------------------
+# Shard bounds
+# ----------------------------------------------------------------------
+class TestShardBounds:
+    @pytest.mark.parametrize("count", [0, 1, 2, 7, 64, 1000])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 8])
+    def test_slices_tile_the_range_exactly(self, count, num_shards):
+        covered = []
+        for shard in range(num_shards):
+            low, high = shard_bounds(count, shard, num_shards)
+            assert 0 <= low <= high <= count
+            covered.extend(range(low, high))
+        assert covered == list(range(count))
+
+    def test_out_of_range_shard_is_an_error(self):
+        with pytest.raises(ValueError, match="outside"):
+            shard_bounds(10, 3, 3)
+        with pytest.raises(ValueError, match="outside"):
+            shard_bounds(10, -1, 3)
+
+
+# ----------------------------------------------------------------------
+# Sorted adjacency columns
+# ----------------------------------------------------------------------
+class TestSortedAdjacency:
+    def test_view_is_cached_per_flavor(self):
+        encoded = encoded_view(social_graph())
+        assert adjacency_view(encoded, KERNEL_PYTHON) is adjacency_view(encoded, KERNEL_PYTHON)
+        assert adjacency_view(encoded, KERNEL_SETS) is adjacency_view(encoded, KERNEL_SETS)
+
+    def test_columns_are_sorted_and_complete(self):
+        graph = social_graph()
+        encoded = encoded_view(graph)
+        adjacency = adjacency_view(encoded, KERNEL_PYTHON)
+        code = encoded.dictionary.id_of(KNOWS)
+        alice = encoded.dictionary.id_of(ALICE)
+        row = list(adjacency.objects_from(alice, code))
+        assert row == sorted(row)
+        assert {encoded.dictionary.n3_of(v) for v in row} == {BOB.n3(), DAVE.n3()}
+        keys = list(adjacency.subject_keys(code))
+        assert keys == sorted(keys)
+
+    def test_vertex_pool_is_the_candidate_sort_order(self):
+        encoded = encoded_view(social_graph())
+        adjacency = adjacency_view(encoded, KERNEL_PYTHON)
+        ids, array = adjacency.vertex_pool()
+        assert tuple(ids) == encoded.sorted_vertex_ids
+        assert array is None  # arrays only exist in the vectorized flavor
+        assert adjacency.vertex_pool()[0] is ids  # memoized
+
+    def test_invalidate_drops_only_the_touched_predicates(self):
+        encoded = encoded_view(social_graph())
+        adjacency = adjacency_view(encoded, KERNEL_PYTHON)
+        knows = encoded.dictionary.id_of(KNOWS)
+        name = encoded.dictionary.id_of(NAME)
+        knows_column = adjacency.out_column(knows)
+        name_column = adjacency.out_column(name)
+        adjacency.invalidate({knows})
+        assert adjacency.out_column(knows) is not knows_column
+        assert adjacency.out_column(name) is name_column
+
+    def test_vectorized_flavor_requires_numpy(self, no_numpy):
+        encoded = encoded_view(social_graph())
+        with pytest.raises(ValueError, match="needs numpy"):
+            SortedAdjacency(encoded, KERNEL_VECTORIZED)
+
+    @pytest.mark.parametrize("kernel", [KERNEL_SETS, KERNEL_PYTHON, KERNEL_VECTORIZED])
+    def test_mutation_then_query_sees_the_new_edges(self, kernel):
+        if kernel == KERNEL_VECTORIZED and numpy_or_none() is None:
+            pytest.skip("numpy unavailable")
+        graph = social_graph()
+        matcher = LocalMatcher(graph, kernel=kernel)
+        query = knows_chain()
+        before = list(matcher.find_matches(query))
+        graph.add(Triple(DAVE, KNOWS, CAROL))
+        after = list(matcher.find_matches(query))
+        assert len(after) > len(before)
+        # A cold matcher over an identical graph agrees exactly — the
+        # incrementally patched columns are not an approximation.
+        fresh = LocalMatcher(graph.copy(), kernel=kernel)
+        assert list(fresh.find_matches(query)) == after
+        assert fresh.search_steps == matcher.search_steps
+
+
+# ----------------------------------------------------------------------
+# Signature bit-matrix (the vectorized kernel's filter input)
+# ----------------------------------------------------------------------
+class TestBitsMatrix:
+    def test_matrix_words_match_the_bits_table(self):
+        np = numpy_or_none()
+        if np is None:
+            pytest.skip("numpy unavailable")
+        graph = social_graph()
+        index = SignatureIndex(graph)
+        encoded = encoded_view(graph)
+        table = index.bits_table(encoded)
+        matrix = index.bits_matrix(encoded)
+        assert matrix.shape[0] == len(table)
+        words = matrix.shape[1]
+        for row, bits in zip(matrix, table):
+            reassembled = 0
+            for word in range(words):
+                reassembled |= int(row[word]) << (64 * word)
+            assert reassembled == bits
+
+    def test_matrix_refreshes_after_mutation(self):
+        np = numpy_or_none()
+        if np is None:
+            pytest.skip("numpy unavailable")
+        graph = social_graph()
+        index = SignatureIndex(graph)
+        stale = index.bits_matrix(encoded_view(graph))
+        graph.add(Triple(DAVE, NAME, Literal("Dave")))
+        fresh = index.bits_matrix(encoded_view(graph))
+        assert fresh is not stale
+        assert fresh.shape[0] >= stale.shape[0]
+
+    def test_numpy_free_matrix_is_an_error(self, no_numpy):
+        graph = social_graph()
+        index = SignatureIndex(graph)
+        with pytest.raises(ValueError, match="needs numpy"):
+            index.bits_matrix(encoded_view(graph))
+
+    def test_stale_encoded_view_is_an_error(self):
+        graph = social_graph()
+        index = SignatureIndex(graph)
+        other = encoded_view(social_graph())
+        with pytest.raises(ValueError, match="different graph"):
+            index.bits_table(other)
+
+
+# ----------------------------------------------------------------------
+# Numpy-free end to end
+# ----------------------------------------------------------------------
+class TestNumpyFreeMatching:
+    def test_python_kernel_matches_sets_without_numpy(self, no_numpy, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        graph = social_graph()
+        query = knows_chain()
+        default = LocalMatcher(graph)
+        sets = LocalMatcher(graph, kernel=KERNEL_SETS)
+        default_matches = list(default.find_matches(query))
+        sets_matches = list(sets.find_matches(query))
+        assert default.last_kernel == KERNEL_PYTHON
+        assert default_matches == sets_matches
+        assert default.search_steps == sets.search_steps
